@@ -1,0 +1,269 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §3 for the experiment index). Each benchmark runs one
+// experiment over a shared lab — a synthetic nine-month-style trace with a
+// trained PhyNet Scout — and reports the rows/series via b.Log on the
+// first iteration, so `go test -bench . -benchmem` both times the harness
+// and prints the reproduced results (use -v to see them).
+package scouts_test
+
+import (
+	"sync"
+	"testing"
+
+	"scouts/internal/experiments"
+)
+
+var (
+	benchOnce sync.Once
+	benchLab  *experiments.Lab
+	benchErr  error
+)
+
+// lab builds the shared benchmark world: 150 days at 12 incidents/day.
+func lab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchLab, benchErr = experiments.NewLab(experiments.LabParams{
+			Seed: 20200810, Days: 150, IncidentsPerDay: 12,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchLab
+}
+
+// logOnce prints the reproduced table/figure on the first iteration only.
+func logOnce(b *testing.B, i int, r interface{ String() string }) {
+	if i == 0 {
+		b.Log("\n" + r.String())
+	}
+}
+
+func BenchmarkTable1Models(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Table1(l))
+	}
+}
+
+func BenchmarkTable2Datasets(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Table2(l))
+	}
+}
+
+func BenchmarkTable3Survey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Table3())
+	}
+}
+
+func BenchmarkTable4AltModels(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table4(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r)
+	}
+}
+
+func BenchmarkTable5Deflation(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table5(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r)
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Headline(l))
+	}
+}
+
+func BenchmarkScoutInference(b *testing.B) {
+	l := lab(b)
+	ins := l.Test
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Scout.PredictIncident(ins[i%len(ins)])
+	}
+}
+
+func BenchmarkFigure1CreatorMix(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure1(l))
+	}
+}
+
+func BenchmarkFigure2DiagnosisTime(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure2(l))
+	}
+}
+
+func BenchmarkFigure3Reducible(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure3(l))
+	}
+}
+
+func BenchmarkFigure4Waypoint(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure4(l))
+	}
+}
+
+func BenchmarkFigure6OverheadDist(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure6(l))
+	}
+}
+
+func BenchmarkFigure7GainOverhead(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure7(l))
+	}
+}
+
+func BenchmarkFigure8Deciders(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r)
+	}
+}
+
+func BenchmarkFigure9Deprecation(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure9(l, 7, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r)
+	}
+}
+
+func BenchmarkFigure10Retraining(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure10(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r)
+	}
+}
+
+func BenchmarkFigure11NonPhyNet(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure11(l))
+	}
+}
+
+func BenchmarkFigure12CRIs(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure12(l, 10))
+	}
+}
+
+func BenchmarkFigure13ClassDistance(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure13(l))
+	}
+}
+
+func BenchmarkFigure14ComponentDistance(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure14(l))
+	}
+}
+
+func BenchmarkFigure15ScoutMaster(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure15(l, 6, 40))
+	}
+}
+
+func BenchmarkFigure16Imperfect(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure16(l, 8, 600))
+	}
+}
+
+func BenchmarkStorageScout(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.StorageScout(l))
+	}
+}
+
+// BenchmarkAblationSelectorGates measures the design-choice ablation from
+// DESIGN.md §4: full-pipeline accuracy with the selector gates (exclusion
+// rules + component gate + meta-selector) versus the raw RF with no gates.
+func BenchmarkAblationSelectorGates(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		full := l.Scout.Evaluate(l.Test)
+		raw := l.EvalVectors(l.Scout.Forest())
+		if i == 0 {
+			b.Logf("\nablation: full pipeline F1=%.3f vs ungated RF on cached vectors F1=%.3f",
+				full.F1(), raw.F1())
+		}
+	}
+}
+
+// BenchmarkLatencyDistribution reports the §6 inference-latency summary.
+func BenchmarkLatencyDistribution(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.InferenceLatency(l, 100))
+	}
+}

@@ -1,0 +1,75 @@
+// Command scoutd trains a PhyNet Scout over a synthetic cloud and serves
+// predictions over REST — the online half of the §6 deployment.
+//
+// Usage:
+//
+//	scoutd [-addr :8080] [-seed 7] [-days 90] [-rate 10]
+//
+// Endpoints:
+//
+//	GET  /v1/health
+//	GET  /v1/model
+//	POST /v1/reload
+//	POST /v1/predict   {"title": ..., "body": ..., "components": [...], "time": h}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"scouts/internal/cloudsim"
+	"scouts/internal/core"
+	"scouts/internal/serving"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 7, "world seed")
+	days := flag.Int("days", 90, "days of synthetic incident history to train on")
+	rate := flag.Float64("rate", 10, "incidents per day")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "scoutd: ", log.LstdFlags)
+	if err := run(*addr, *seed, *days, *rate, logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+func run(addr string, seed int64, days int, rate float64, logger *log.Logger) error {
+	logger.Printf("generating %d days of synthetic cloud history (seed %d)", days, seed)
+	gen := cloudsim.New(cloudsim.Params{Seed: seed, Days: days, IncidentsPerDay: rate})
+	trace := gen.Generate()
+	logger.Printf("%d incidents generated", trace.Len())
+
+	cfg, err := core.ParseConfig(core.DefaultPhyNetConfig)
+	if err != nil {
+		return err
+	}
+
+	store := serving.NewStore()
+	trainer := &serving.Trainer{Store: store}
+	start := time.Now()
+	scout, version, err := trainer.TrainAndPublish(core.TrainOptions{
+		Config:    cfg,
+		Topology:  gen.Topology(),
+		Source:    gen.Telemetry(),
+		Incidents: trace.Incidents,
+		Seed:      seed,
+	})
+	if err != nil {
+		return fmt.Errorf("training: %w", err)
+	}
+	logger.Printf("trained %s scout v%d in %v (top features: %v)",
+		scout.Team(), version, time.Since(start).Round(time.Millisecond), scout.TopFeatures(3))
+
+	srv := serving.NewServer(gen.Topology(), gen.Telemetry(), store, logger)
+	if err := srv.Reload(); err != nil {
+		return err
+	}
+	logger.Printf("serving on %s", addr)
+	return http.ListenAndServe(addr, srv.Handler())
+}

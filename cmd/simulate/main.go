@@ -1,0 +1,85 @@
+// Command simulate generates a synthetic incident trace and writes it as
+// JSON (one incident per line) for inspection or external analysis.
+//
+// Usage:
+//
+//	simulate [-days 90] [-rate 12] [-seed 1] [-o trace.jsonl] [-stats]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"scouts/internal/cloudsim"
+	"scouts/internal/incident"
+	"scouts/internal/metrics"
+)
+
+func main() {
+	days := flag.Int("days", 90, "trace length in days")
+	rate := flag.Float64("rate", 12, "mean incidents per day")
+	seed := flag.Int64("seed", 1, "world seed")
+	out := flag.String("o", "-", "output file (- for stdout)")
+	stats := flag.Bool("stats", false, "print §3-style summary statistics to stderr")
+	flag.Parse()
+
+	if err := run(*days, *rate, *seed, *out, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(days int, rate float64, seed int64, out string, stats bool) error {
+	gen := cloudsim.New(cloudsim.Params{Seed: seed, Days: days, IncidentsPerDay: rate})
+	trace := gen.Generate()
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	enc := json.NewEncoder(bw)
+	for _, in := range trace.Incidents {
+		if err := enc.Encode(in); err != nil {
+			return err
+		}
+	}
+	if stats {
+		printStats(trace)
+	}
+	return nil
+}
+
+func printStats(trace *incident.Log) {
+	var single, multi []float64
+	for _, in := range trace.Incidents {
+		if len(in.Teams()) == 1 {
+			single = append(single, in.TotalTime())
+		} else {
+			multi = append(multi, in.TotalTime())
+		}
+	}
+	through := trace.Involving(cloudsim.TeamPhyNet)
+	innocent := 0
+	for _, in := range through {
+		if in.OwnerLabel != cloudsim.TeamPhyNet {
+			innocent++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "incidents: %d (%d single-team, %d multi-team)\n",
+		trace.Len(), len(single), len(multi))
+	fmt.Fprintf(os.Stderr, "mean time-to-diagnosis: single %.2fh, multi %.2fh (%.1fx)\n",
+		metrics.Mean(single), metrics.Mean(multi), metrics.Mean(multi)/metrics.Mean(single))
+	fmt.Fprintf(os.Stderr, "PhyNet involved in %d incidents; innocent waypoint in %d (%.0f%%)\n",
+		len(through), innocent, 100*float64(innocent)/float64(len(through)))
+}

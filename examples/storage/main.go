@@ -1,0 +1,76 @@
+// Storage Scout (Appendix B): other teams can build Scouts too. The
+// Storage team starts with a rule-based system — near-perfect recall,
+// mediocre precision — and this example shows how the same incident history
+// would let them graduate to an ML Scout using the framework, without
+// writing any model code: just a different configuration file.
+//
+//	go run ./examples/storage
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"scouts"
+	"scouts/internal/cloudsim"
+	"scouts/internal/incident"
+	"scouts/internal/metrics"
+)
+
+// storageConfig is a starter configuration for the Storage team. Storage
+// has no switch-level monitoring of its own; in this synthetic world it
+// watches the same cluster-granularity canary data plus server CPU.
+const storageConfig = `
+TEAM Storage;
+LOOKBACK 2h;
+let vm      = <\bvm\d+\.c\d+\.dc\d+\b>;
+let server  = <\bsrv\d+\.c\d+\.dc\d+\b>;
+let cluster = <\bc\d+\.dc\d+\b>;
+let dc      = <\bdc\d+\b>;
+MONITORING pingmesh = CREATE_MONITORING(store://phynet/pingmesh, {component=server}, TIME_SERIES, LATENCY);
+MONITORING canary   = CREATE_MONITORING(store://phynet/canary,   {component=cluster}, TIME_SERIES, REACHABILITY);
+MONITORING cpu      = CREATE_MONITORING(store://phynet/cpu,      {component=server},  TIME_SERIES, CPU_UTIL);
+`
+
+func main() {
+	gen := cloudsim.New(cloudsim.Params{Seed: 21, Days: 100, IncidentsPerDay: 10})
+	trace := gen.Generate()
+	cut := trace.Len() / 2
+	train, test := trace.Incidents[:cut], trace.Incidents[cut:]
+
+	// The rule-based system the Storage team runs today (Appendix B:
+	// precision 76.15%, recall 99.5%).
+	var rule metrics.Confusion
+	for _, in := range test {
+		if in.Source != incident.SourceMonitor {
+			continue // the rule system does not trigger on CRIs
+		}
+		text := strings.ToLower(in.Title + " " + in.Body)
+		claim := strings.Contains(text, "disk") || strings.Contains(text, "storage") ||
+			strings.Contains(text, "mount")
+		rule.Add(claim, in.OwnerLabel == cloudsim.TeamStorage)
+	}
+	fmt.Printf("rule-based Storage Scout:  P=%5.1f%%  R=%5.1f%%  F1=%.2f   (paper: 76.15%% / 99.5%%)\n",
+		rule.Precision()*100, rule.Recall()*100, rule.F1())
+
+	// The framework-built starter Scout over the same history.
+	cfg, err := scouts.ParseConfig(storageConfig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scout, err := scouts.Train(scouts.TrainOptions{
+		Config: cfg, Topology: gen.Topology(), Source: gen.Telemetry(),
+		Incidents: train, Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ml := scout.Evaluate(test)
+	fmt.Printf("framework starter Scout:   P=%5.1f%%  R=%5.1f%%  F1=%.2f\n",
+		ml.Precision()*100, ml.Recall()*100, ml.F1())
+	fmt.Println("\nThe starter Scout's strongest signals:", scout.TopFeatures(4))
+	fmt.Println("(Storage mostly learns from the *absence* of data movement in the")
+	fmt.Println(" infrastructure telemetry it shares with PhyNet — §5.2's point that")
+	fmt.Println(" healthy-looking monitoring is itself a routing signal.)")
+}

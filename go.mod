@@ -1,0 +1,3 @@
+module scouts
+
+go 1.22

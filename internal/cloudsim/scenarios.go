@@ -1,0 +1,486 @@
+package cloudsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// fault is one concrete fault instance: the ground truth behind an incident.
+type fault struct {
+	scenario  string
+	owner     string   // team truly responsible
+	broad     bool     // implicates a whole cluster, not specific devices
+	mentioned []string // components the incident text will name
+	anomalies []Anomaly
+	title     string
+	body      string
+	rootCause string
+	// detectorWeights: (team -> weight) for who notices first; the special
+	// key TeamCustomer means a customer-reported incident.
+	detectors map[string]float64
+	// hardness scales investigation times (customer problems and vague
+	// CRIs are intrinsically harder, §3.1).
+	hardness float64
+	// pHighSev overrides the default high-severity probability.
+	pHighSev float64
+}
+
+// scenarioDef is a template in the fault catalogue.
+type scenarioDef struct {
+	name   string
+	weight float64
+	build  func(g *Generator, t float64, rng *rand.Rand) *fault
+	// startDay gates emergent incident families: the scenario only occurs
+	// from this day on. 0 means always; -1 means "use Params.NovelStartDay".
+	startDay int
+}
+
+// pick helpers --------------------------------------------------------------
+
+func pickOne(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+func (g *Generator) randomCluster(rng *rand.Rand) string {
+	return pickOne(rng, g.clusters)
+}
+
+func (g *Generator) randomToR(rng *rand.Rand, cluster string) string {
+	tors := g.torsByCluster[cluster]
+	return pickOne(rng, tors)
+}
+
+func (g *Generator) serversUnder(tor string) []string {
+	return g.topo.Children(tor)
+}
+
+func (g *Generator) randomVMOn(rng *rand.Rand, server string) string {
+	vms := g.topo.Children(server)
+	if len(vms) == 0 {
+		return ""
+	}
+	return pickOne(rng, vms)
+}
+
+// effect shorthands ----------------------------------------------------------
+
+func shift(ds string, mean float64) Effect { return Effect{Dataset: ds, MeanShift: mean} }
+
+func noisy(ds string, scale float64) Effect { return Effect{Dataset: ds, StdScale: scale} }
+
+func burst(ds string, perHour float64) Effect { return Effect{Dataset: ds, EventRate: perHour} }
+
+// anomalyFor builds an anomaly lasting from slightly before the incident to
+// `dur` hours after it (investigations observe live symptoms).
+func anomalyFor(comp string, t, dur float64, effects ...Effect) Anomaly {
+	return Anomaly{Component: comp, Start: t - 0.5, End: t + dur, Effects: effects}
+}
+
+// catalogue returns the full scenario table. Weights approximate the §3
+// incident mix: PhyNet owns roughly a third of the incidents that pass
+// through it; the physical network is a frequent innocent suspect for the
+// rest.
+func catalogue() []scenarioDef {
+	return []scenarioDef{
+		// --- PhyNet-owned faults ------------------------------------------
+		{name: "tor-failure", weight: 3, build: buildToRFailure},
+		{name: "link-corruption", weight: 2, build: buildLinkCorruption},
+		{name: "switch-drops", weight: 2, build: buildSwitchDrops},
+		{name: "network-config-push", weight: 1.5, build: buildConfigPush},
+		{name: "switch-overheat", weight: 1, build: buildOverheat},
+		{name: "transient-spike", weight: 0.8, build: buildTransient},
+		{name: "dhcp-misconfig", weight: 0.4, build: buildDHCP},
+		// --- other teams' faults ------------------------------------------
+		{name: "storage-latency", weight: 3, build: buildStorageLatency},
+		{name: "slb-vip-drop", weight: 2, build: buildSLBVIP},
+		{name: "hostnet-vswitch", weight: 1.5, build: buildHostNet},
+		{name: "db-query-slow", weight: 1.5, build: buildDBQuery},
+		{name: "dns-resolution", weight: 1, build: buildDNS},
+		{name: "compute-host", weight: 1.5, build: buildComputeHost},
+		{name: "firewall-push", weight: 0.8, build: buildFirewall},
+		{name: "wan-bgp", weight: 0.8, build: buildWAN},
+		{name: "cdn-cache", weight: 0.5, build: buildCDN},
+		// --- nobody inside the provider -----------------------------------
+		{name: "customer-misconfig", weight: 1.6, build: buildCustomerMisconfig},
+		// --- emergent incident family (Figure 10's Oct-Nov novelty) --------
+		{name: "optics-brownout", weight: 1.5, build: buildOpticsBrownout, startDay: -1},
+	}
+}
+
+// buildOpticsBrownout is a *new kind* of PhyNet incident that only starts
+// occurring late in the trace (Params.NovelStartDay): a whole optics
+// generation browning out. Its wording is novel and its telemetry
+// signature is faint, so a Scout trained before its first occurrence
+// mis-classifies it until retraining catches up — reproducing the paper's
+// October–November accuracy dip (§7.3).
+func buildOpticsBrownout(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	tor := g.randomToR(rng, cluster)
+	dur := 3 + rng.Float64()*5
+	f := &fault{
+		scenario: "optics-brownout",
+		owner:    TeamPhyNet,
+		title:    fmt.Sprintf("Optical power brownout on transceivers in %s", cluster),
+		body: fmt.Sprintf("New-generation optics on switch %s in cluster %s report marginal receive power; "+
+			"intermittent link flaps without packet-drop alarms.", tor, cluster),
+		rootCause: "vendor optics firmware brownout (new hardware generation)",
+		detectors: map[string]float64{TeamPhyNet: 0.4, TeamStorage: 0.2, TeamSLB: 0.15, TeamCustomer: 0.25},
+		hardness:  1.2,
+	}
+	f.mentioned = []string{tor, cluster}
+	// An unusual signature: the transceiver *cools* while its firmware
+	// throttles — a negative temperature shift, where every fault a
+	// pre-onset model has seen moves temperature up. Change-point
+	// detection sees the shift clearly; a forest trained before the
+	// family existed has no splits in this region of feature space, so it
+	// mis-classifies the family until retraining catches up (§7.3).
+	f.anomalies = append(f.anomalies,
+		anomalyFor(tor, t, dur, shift(DSTemp, -5)),
+	)
+	return f
+}
+
+func buildToRFailure(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	tor := g.randomToR(rng, cluster)
+	servers := g.serversUnder(tor)
+	dur := 2 + rng.Float64()*6
+	f := &fault{
+		scenario: "tor-failure",
+		owner:    TeamPhyNet,
+		title:    fmt.Sprintf("Connectivity loss for servers under %s", tor),
+		body: fmt.Sprintf("Multiple servers in cluster %s report connection failures. "+
+			"Affected rack is served by switch %s. VMs are rebooting repeatedly.", cluster, tor),
+		rootCause: "ToR switch failed after unplanned reboot (config change)",
+		detectors: map[string]float64{TeamStorage: 0.2, TeamDB: 0.1, TeamPhyNet: 0.47, TeamCompute: 0.08, TeamCustomer: 0.15},
+		hardness:  1,
+	}
+	f.mentioned = []string{tor, cluster}
+	if len(servers) > 0 {
+		srv := pickOne(rng, servers)
+		f.mentioned = append(f.mentioned, srv)
+		if vm := g.randomVMOn(rng, srv); vm != "" {
+			f.mentioned = append(f.mentioned, vm)
+		}
+	}
+	f.anomalies = append(f.anomalies,
+		anomalyFor(tor, t, dur, burst(DSReboots, 3), burst(DSSyslog, 20), shift(DSIfCounters, 25), noisy(DSIfCounters, 3)),
+		anomalyFor(cluster, t, dur, shift(DSCanary, -0.01)),
+	)
+	for _, s := range servers {
+		f.anomalies = append(f.anomalies, anomalyFor(s, t, dur, shift(DSPingmesh, 1.5), noisy(DSPingmesh, 4)))
+	}
+	return f
+}
+
+func buildLinkCorruption(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	tor := g.randomToR(rng, cluster)
+	dur := 3 + rng.Float64()*8
+	f := &fault{
+		scenario:  "link-corruption",
+		owner:     TeamPhyNet,
+		title:     fmt.Sprintf("Packet corruption alarms on %s", tor),
+		body:      fmt.Sprintf("FCS error rate above threshold on uplink of switch %s in cluster %s.", tor, cluster),
+		rootCause: "optical transceiver degradation corrupting frames",
+		detectors: map[string]float64{TeamPhyNet: 0.7, TeamStorage: 0.15, TeamCustomer: 0.15},
+		hardness:  1,
+	}
+	f.mentioned = []string{tor, cluster}
+	f.anomalies = append(f.anomalies,
+		anomalyFor(tor, t, dur, burst(DSFCS, 8), shift(DSLinkLoss, 5e-4), burst(DSSyslog, 6)),
+	)
+	return f
+}
+
+func buildSwitchDrops(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	tor := g.randomToR(rng, cluster)
+	servers := g.serversUnder(tor)
+	dur := 2 + rng.Float64()*5
+	f := &fault{
+		scenario:  "switch-drops",
+		owner:     TeamPhyNet,
+		title:     fmt.Sprintf("Elevated packet drops in cluster %s", cluster),
+		body:      fmt.Sprintf("Packet drop detector implicates switch %s. Tenants in cluster %s observe retransmits.", tor, cluster),
+		rootCause: "ASIC buffer misconfiguration dropping packets",
+		detectors: map[string]float64{TeamPhyNet: 0.6, TeamSLB: 0.1, TeamStorage: 0.12, TeamCustomer: 0.18},
+		hardness:  1,
+	}
+	f.mentioned = []string{tor, cluster}
+	f.anomalies = append(f.anomalies,
+		anomalyFor(tor, t, dur, burst(DSSwitchDrop, 5), burst(DSLinkDrop, 4), shift(DSIfCounters, 15), shift(DSPFC, 30)),
+	)
+	for _, s := range servers {
+		f.anomalies = append(f.anomalies, anomalyFor(s, t, dur, shift(DSPingmesh, 0.6)))
+	}
+	return f
+}
+
+func buildConfigPush(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	dur := 1.5 + rng.Float64()*4
+	f := &fault{
+		scenario: "network-config-push",
+		owner:    TeamPhyNet,
+		broad:    true,
+		title:    fmt.Sprintf("Cluster-wide connectivity degradation in %s", cluster),
+		body: fmt.Sprintf("Reachability drop across cluster %s following maintenance window. "+
+			"Multiple services report errors; no single device implicated.", cluster),
+		rootCause: "fleet-wide routing config push withdrew prefixes",
+		detectors: map[string]float64{TeamPhyNet: 0.3, TeamSLB: 0.2, TeamStorage: 0.15, TeamDB: 0.15, TeamCustomer: 0.2},
+		hardness:  1.2,
+		pHighSev:  0.25,
+	}
+	f.mentioned = []string{cluster}
+	f.anomalies = append(f.anomalies, anomalyFor(cluster, t, dur, shift(DSCanary, -0.02)))
+	for _, sw := range g.switchesByCluster[cluster] {
+		f.anomalies = append(f.anomalies, anomalyFor(sw, t, dur, burst(DSSyslog, 8), shift(DSIfCounters, 10)))
+	}
+	for _, s := range g.serversByCluster[cluster] {
+		f.anomalies = append(f.anomalies, anomalyFor(s, t, dur, shift(DSPingmesh, 0.8)))
+	}
+	return f
+}
+
+func buildOverheat(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	tor := g.randomToR(rng, cluster)
+	dur := 4 + rng.Float64()*10
+	f := &fault{
+		scenario:  "switch-overheat",
+		owner:     TeamPhyNet,
+		title:     fmt.Sprintf("Temperature alarm on switch %s", tor),
+		body:      fmt.Sprintf("ASIC temperature on %s above operating threshold; thermal throttling engaged in cluster %s.", tor, cluster),
+		rootCause: "failed fan tray overheating the switch ASIC",
+		detectors: map[string]float64{TeamPhyNet: 0.85, TeamCustomer: 0.15},
+		hardness:  0.9,
+	}
+	f.mentioned = []string{tor, cluster}
+	f.anomalies = append(f.anomalies,
+		anomalyFor(tor, t, dur, shift(DSTemp, 18), burst(DSSyslog, 4), shift(DSCPU, 10)),
+	)
+	return f
+}
+
+// buildTransient generates the §7.2 false-negative case: the spike is over
+// before anyone investigates, so monitoring looks healthy by the time the
+// Scout pulls data.
+func buildTransient(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	tor := g.randomToR(rng, cluster)
+	f := &fault{
+		scenario:  "transient-spike",
+		owner:     TeamPhyNet,
+		title:     fmt.Sprintf("Latency spike alert in cluster %s", cluster),
+		body:      fmt.Sprintf("Short-lived latency spike crossed the alerting threshold near switch %s in %s. Metric has since recovered.", tor, cluster),
+		rootCause: "transient microburst congestion (self-resolved)",
+		detectors: map[string]float64{TeamPhyNet: 0.6, TeamDB: 0.2, TeamCustomer: 0.2},
+		hardness:  0.8,
+	}
+	f.mentioned = []string{tor, cluster}
+	// The anomaly ends well before the incident is created.
+	for _, s := range g.serversUnder(tor) {
+		f.anomalies = append(f.anomalies, Anomaly{
+			Component: s, Start: t - 2.2, End: t - 1.4,
+			Effects: []Effect{shift(DSPingmesh, 2)},
+		})
+	}
+	return f
+}
+
+// buildDHCP generates the §7.2 uncaptured-symptom case: a real PhyNet
+// problem none of the twelve datasets observes.
+func buildDHCP(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	tor := g.randomToR(rng, cluster)
+	return &fault{
+		scenario:  "dhcp-misconfig",
+		owner:     TeamPhyNet,
+		title:     fmt.Sprintf("Incorrect DHCP relay configuration on %s", tor),
+		body:      fmt.Sprintf("Tracking fixes to DHCP relay settings on ToR %s in cluster %s; new hosts fail to image.", tor, cluster),
+		rootCause: "DHCP relay misconfiguration (not covered by monitoring)",
+		detectors: map[string]float64{TeamPhyNet: 0.5, TeamCompute: 0.5},
+		hardness:  1,
+		mentioned: []string{tor, cluster},
+	}
+}
+
+func buildStorageLatency(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	storageCluster := g.randomCluster(rng)
+	tor := g.randomToR(rng, cluster)
+	servers := g.serversUnder(tor)
+	srv := pickOne(rng, servers)
+	vm := g.randomVMOn(rng, srv)
+	f := &fault{
+		scenario: "storage-latency",
+		owner:    TeamStorage,
+		title:    fmt.Sprintf("Virtual disk latency degradation in %s", cluster),
+		body: fmt.Sprintf("VM %s on server %s experiencing virtual disk timeouts against storage cluster %s. "+
+			"Automated recovery unsuccessful.", vm, srv, storageCluster),
+		rootCause: "storage stamp overload (background repair traffic)",
+		detectors: map[string]float64{TeamDB: 0.3, TeamCompute: 0.25, TeamStorage: 0.25, TeamCustomer: 0.2},
+		hardness:  1.1,
+	}
+	f.mentioned = []string{vm, srv, cluster, storageCluster}
+	// PhyNet telemetry stays at baseline: that absence is the signal.
+	return f
+}
+
+func buildSLBVIP(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	f := &fault{
+		scenario:  "slb-vip-drop",
+		owner:     TeamSLB,
+		title:     fmt.Sprintf("VIP availability drop in %s", cluster),
+		body:      fmt.Sprintf("Connectivity failures to virtual IPs served from cluster %s after SLB deployment rollout.", cluster),
+		rootCause: "SLB mux update broke VIP-to-DIP mappings",
+		detectors: map[string]float64{TeamSLB: 0.3, TeamSupport: 0.15, TeamCustomer: 0.45, TeamDB: 0.1},
+		hardness:  1.1,
+	}
+	f.mentioned = []string{cluster}
+	return f
+}
+
+func buildHostNet(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	tor := g.randomToR(rng, cluster)
+	srv := pickOne(rng, g.serversUnder(tor))
+	vm := g.randomVMOn(rng, srv)
+	dur := 2 + rng.Float64()*4
+	f := &fault{
+		scenario:  "hostnet-vswitch",
+		owner:     TeamHostNet,
+		title:     fmt.Sprintf("Virtual switch packet processing stalls on %s", srv),
+		body:      fmt.Sprintf("VM %s on server %s in cluster %s sees intermittent connectivity; host vswitch CPU saturated.", vm, srv, cluster),
+		rootCause: "vswitch datapath bug pinning a core",
+		detectors: map[string]float64{TeamHostNet: 0.35, TeamCompute: 0.25, TeamPhyNet: 0.1, TeamCustomer: 0.3},
+		hardness:  1,
+	}
+	f.mentioned = []string{vm, srv, cluster}
+	// Confounder: the host's CPU telemetry (a PhyNet dataset) does move.
+	f.anomalies = append(f.anomalies, anomalyFor(srv, t, dur, shift(DSCPU, 45)))
+	return f
+}
+
+func buildDBQuery(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	f := &fault{
+		scenario:  "db-query-slow",
+		owner:     TeamDB,
+		title:     fmt.Sprintf("Database query latency regression in %s", cluster),
+		body:      fmt.Sprintf("Query execution times degraded for databases hosted in cluster %s; login times normal.", cluster),
+		rootCause: "bad query plan after statistics refresh",
+		detectors: map[string]float64{TeamDB: 0.6, TeamCustomer: 0.4},
+		hardness:  0.9,
+	}
+	f.mentioned = []string{cluster}
+	return f
+}
+
+func buildDNS(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	f := &fault{
+		scenario:  "dns-resolution",
+		owner:     TeamDNS,
+		title:     "Name resolution failures for internal zones",
+		body:      fmt.Sprintf("Services in cluster %s intermittently fail to resolve internal names; recursive resolvers time out.", cluster),
+		rootCause: "zone transfer wedged a resolver pool",
+		detectors: map[string]float64{TeamDNS: 0.5, TeamSupport: 0.2, TeamCustomer: 0.3},
+		hardness:  0.9,
+	}
+	f.mentioned = []string{cluster}
+	return f
+}
+
+func buildComputeHost(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	tor := g.randomToR(rng, cluster)
+	srv := pickOne(rng, g.serversUnder(tor))
+	vm := g.randomVMOn(rng, srv)
+	dur := 1 + rng.Float64()*3
+	f := &fault{
+		scenario:  "compute-host",
+		owner:     TeamCompute,
+		title:     fmt.Sprintf("Host agent failures on %s", srv),
+		body:      fmt.Sprintf("VM %s on server %s (cluster %s) rebooting repeatedly; host OS update suspected.", vm, srv, cluster),
+		rootCause: "hypervisor host agent crash loop after OS patch",
+		detectors: map[string]float64{TeamCompute: 0.45, TeamDB: 0.15, TeamCustomer: 0.4},
+		hardness:  1,
+	}
+	f.mentioned = []string{vm, srv, cluster}
+	// Confounders visible in PhyNet data: server reboots + CPU churn.
+	f.anomalies = append(f.anomalies, anomalyFor(srv, t, dur, burst(DSReboots, 2), shift(DSCPU, 25)))
+	return f
+}
+
+func buildFirewall(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	f := &fault{
+		scenario:  "firewall-push",
+		owner:     TeamFirewall,
+		title:     "Outbound connections blocked on reserved ports",
+		body:      fmt.Sprintf("Tenants in cluster %s cannot reach external endpoints on selected ports after edge ACL update.", cluster),
+		rootCause: "edge firewall rule push blocked legitimate ports",
+		detectors: map[string]float64{TeamFirewall: 0.25, TeamSupport: 0.25, TeamCustomer: 0.5},
+		hardness:  1.1,
+	}
+	f.mentioned = []string{cluster}
+	return f
+}
+
+func buildWAN(g *Generator, t float64, rng *rand.Rand) *fault {
+	dc := pickOne(rng, g.dcs)
+	dur := 1 + rng.Float64()*3
+	f := &fault{
+		scenario:  "wan-bgp",
+		owner:     TeamWAN,
+		title:     fmt.Sprintf("Reachability loss from partner networks to %s", dc),
+		body:      fmt.Sprintf("External monitors report packet loss from several ISPs into datacenter %s; internal paths healthy.", dc),
+		rootCause: "BGP session flap with a transit provider",
+		detectors: map[string]float64{TeamWAN: 0.4, TeamSupport: 0.2, TeamCustomer: 0.4},
+		hardness:  1.3,
+	}
+	f.mentioned = []string{dc}
+	// Mild cross-DC canary wobble — the kind of ambiguity that drags
+	// PhyNet into WAN investigations.
+	for _, cl := range g.clustersByDC[dc] {
+		f.anomalies = append(f.anomalies, anomalyFor(cl, t, dur, shift(DSCanary, -0.003)))
+	}
+	return f
+}
+
+func buildCDN(g *Generator, t float64, rng *rand.Rand) *fault {
+	dc := pickOne(rng, g.dcs)
+	return &fault{
+		scenario:  "cdn-cache",
+		owner:     TeamCDN,
+		title:     "Elevated cache-miss latency for static content",
+		body:      fmt.Sprintf("Edge caches fronting %s serving stale or slow content; origin fetch times elevated.", dc),
+		rootCause: "cache invalidation storm after deployment",
+		detectors: map[string]float64{TeamCDN: 0.5, TeamCustomer: 0.5},
+		hardness:  0.9,
+		mentioned: []string{dc},
+	}
+}
+
+// buildCustomerMisconfig is the §3.2 file-share example: nobody inside the
+// provider is responsible, so teams rule themselves out one after another —
+// "counter-intuitively, when no teams are responsible, more teams get
+// involved" — and PhyNet is almost always dragged in.
+func buildCustomerMisconfig(g *Generator, t float64, rng *rand.Rand) *fault {
+	cluster := g.randomCluster(rng)
+	tor := g.randomToR(rng, cluster)
+	srv := pickOne(rng, g.serversUnder(tor))
+	vm := g.randomVMOn(rng, srv)
+	f := &fault{
+		scenario:  "customer-misconfig",
+		owner:     TeamCustomer,
+		title:     "Customer unable to mount file share",
+		body:      fmt.Sprintf("Customer reports VM %s in cluster %s cannot mount a file share. No provider-side errors found so far.", vm, cluster),
+		rootCause: "customer on-premises firewall blocked SMB",
+		detectors: map[string]float64{TeamCustomer: 1},
+		hardness:  1.6,
+	}
+	f.mentioned = []string{vm, cluster}
+	return f
+}

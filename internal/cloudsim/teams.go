@@ -1,0 +1,80 @@
+// Package cloudsim is the trace-driven stand-in for the proprietary Azure
+// incident logs the paper evaluates on. It builds a synthetic cloud — a
+// datacenter topology, the twelve PhyNet monitoring datasets of Table 2,
+// a catalogue of faults per team, and a behavioural model of how operators
+// route incidents today — and emits nine-month incident traces whose §3
+// statistics (mis-routing rates, 10x diagnosis blow-up, PhyNet-as-waypoint
+// fractions) match the paper's.
+//
+// Ground truth (which team actually caused each incident) is recorded on
+// the incidents but is never visible to the routing systems under test:
+// they see only incident text and monitoring data, exactly the paper's
+// information surface.
+package cloudsim
+
+// Team names of the synthetic cloud. The paper's cloud has hundreds of
+// teams ("our cloud has 100 teams in networking"); we model the eleven that
+// dominate the PhyNet routing story plus an external pseudo-team for
+// customer-caused incidents.
+const (
+	TeamPhyNet   = "PhyNet"   // physical networking: every switch and router
+	TeamStorage  = "Storage"  // remote storage clusters
+	TeamSLB      = "SLB"      // software load balancing
+	TeamHostNet  = "HostNet"  // host networking / virtual switches
+	TeamDB       = "DB"       // database service
+	TeamDNS      = "DNS"      // name resolution
+	TeamCompute  = "Compute"  // hypervisor / VM lifecycle
+	TeamFirewall = "Firewall" // provider edge firewalls
+	TeamWAN      = "WAN"      // wide-area networking / peering
+	TeamCDN      = "CDN"      // content delivery
+	TeamSupport  = "Support"  // 24x7 customer support (CRI entry point)
+	// TeamCustomer marks incidents whose root cause is outside the
+	// provider (customer misconfigurations, on-prem firewalls, ...).
+	TeamCustomer = "Customer"
+)
+
+// Teams lists every internal team that can own incidents (Support routes
+// but never owns; Customer is external).
+var Teams = []string{
+	TeamPhyNet, TeamStorage, TeamSLB, TeamHostNet, TeamDB, TeamDNS,
+	TeamCompute, TeamFirewall, TeamWAN, TeamCDN,
+}
+
+// suspects encodes the operator folklore of §3.2: when team T rules itself
+// out, which teams does it suspect next, in order of habit? The physical
+// network is "one of the first suspects" for almost everyone — that is why
+// it receives 1 in 10 mis-routed incidents.
+var suspects = map[string][]string{
+	TeamDB:       {TeamStorage, TeamPhyNet, TeamSLB, TeamHostNet, TeamDNS},
+	TeamStorage:  {TeamPhyNet, TeamHostNet, TeamSLB, TeamCompute},
+	TeamSLB:      {TeamPhyNet, TeamHostNet, TeamDNS, TeamFirewall},
+	TeamHostNet:  {TeamPhyNet, TeamCompute, TeamSLB},
+	TeamCompute:  {TeamStorage, TeamPhyNet, TeamHostNet},
+	TeamDNS:      {TeamPhyNet, TeamWAN, TeamSLB},
+	TeamFirewall: {TeamPhyNet, TeamWAN, TeamSLB},
+	TeamWAN:      {TeamPhyNet, TeamCDN, TeamFirewall},
+	TeamCDN:      {TeamWAN, TeamPhyNet, TeamDNS},
+	TeamPhyNet:   {TeamHostNet, TeamSLB, TeamStorage, TeamWAN},
+	TeamSupport:  {TeamCompute, TeamStorage, TeamSLB, TeamPhyNet, TeamDB, TeamDNS},
+}
+
+// SuspectsOf returns the suspicion order for a team (copy).
+func SuspectsOf(team string) []string {
+	return append([]string(nil), suspects[team]...)
+}
+
+// teamJargon is the domain vocabulary each team's engineers use in their
+// incident notes. The trace generator sprinkles it into ticket bodies as
+// conversation noise.
+var teamJargon = map[string]string{
+	TeamPhyNet:   "switch interface counters and link error rates",
+	TeamStorage:  "virtual disk queue depths and storage stamp health",
+	TeamSLB:      "vip probe health and mux mappings",
+	TeamHostNet:  "vswitch datapath and host NIC offloads",
+	TeamDB:       "query plans and login latencies",
+	TeamDNS:      "resolver caches and zone transfers",
+	TeamCompute:  "host agent logs and hypervisor heartbeats",
+	TeamFirewall: "edge acl rules and flow logs",
+	TeamWAN:      "bgp sessions and peering utilization",
+	TeamCDN:      "cache hit ratios and origin fetch times",
+}

@@ -1,0 +1,68 @@
+package core
+
+import "sync"
+
+// FeatureCache memoizes per-incident extraction results, feature vectors
+// and CPD+ vectors across retraining rounds. The retraining experiments
+// (§7.3) rebuild the Scout dozens of times over overlapping windows of the
+// same trace; featurization — not model fitting — dominates that cost, and
+// it is a pure function of (incident, configuration, data source), so it
+// is safe to reuse as long as those stay fixed.
+//
+// A FeatureCache must only ever be used with one (Config, Topology,
+// DataSource) combination; mixing layouts corrupts results.
+type FeatureCache struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	ex   Extraction
+	x    []float64
+	cpdX []float64 // nil until a CPD+ vector is first needed
+}
+
+// NewFeatureCache creates an empty cache.
+func NewFeatureCache() *FeatureCache {
+	return &FeatureCache{m: map[string]*cacheEntry{}}
+}
+
+// Len returns the number of cached incidents.
+func (c *FeatureCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func (c *FeatureCache) get(id string) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[id]
+	return e, ok
+}
+
+func (c *FeatureCache) put(id string, e *cacheEntry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[id] = e
+}
+
+func (c *FeatureCache) setCPD(id string, vec []float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[id]; ok {
+		e.cpdX = vec
+	}
+}

@@ -1,0 +1,526 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"scouts/internal/incident"
+	"scouts/internal/metrics"
+	"scouts/internal/ml/cpd"
+	"scouts/internal/ml/forest"
+	"scouts/internal/ml/mlcore"
+	"scouts/internal/monitoring"
+	"scouts/internal/topology"
+)
+
+// Verdict is the kind of answer a Scout gives for an incident.
+type Verdict string
+
+// Verdicts.
+const (
+	// VerdictResponsible / VerdictNotResponsible are model answers.
+	VerdictResponsible    Verdict = "responsible"
+	VerdictNotResponsible Verdict = "not-responsible"
+	// VerdictExcluded: an EXCLUDE rule matched — explicitly out of scope.
+	VerdictExcluded Verdict = "excluded"
+	// VerdictFallback: no components could be extracted; the incident is
+	// too broad for the Scout and goes to the legacy routing process
+	// (§5.3).
+	VerdictFallback Verdict = "fallback"
+)
+
+// Prediction is a Scout's full answer: label, confidence and explanation
+// (§4 requires all three).
+type Prediction struct {
+	Verdict     Verdict
+	Responsible bool
+	Confidence  float64 // in [0.5, 1] for model verdicts
+	Model       string  // "rf", "cpd+", "exclude-rule", "none"
+	Components  []string
+	Explanation string
+}
+
+// Usable reports whether the prediction can drive routing (fallback
+// verdicts cannot).
+func (p Prediction) Usable() bool { return p.Verdict != VerdictFallback }
+
+// TrainOptions configure Scout training.
+type TrainOptions struct {
+	// Config is the parsed team configuration (required).
+	Config *Config
+	// Topology is the component hierarchy (required).
+	Topology *topology.Topology
+	// Source serves monitoring data (required).
+	Source monitoring.DataSource
+	// Incidents is the labelled training trace: an incident is a positive
+	// example when OwnerLabel equals the configured team.
+	Incidents []*incident.Incident
+	// Forest parameterizes the main supervised model.
+	Forest forest.Params
+	// Selector parameterizes the model selector.
+	Selector SelectorParams
+	// Detector parameterizes change-point detection inside CPD+.
+	Detector cpd.Params
+	// Seed drives the train/holdout split.
+	Seed int64
+	// AgeDecayHours, when positive, down-weights old incidents with scale
+	// AgeDecayHours (§8 "Down-weighting old incidents").
+	AgeDecayHours float64
+	// BoostIDs up-weights previously mis-classified incidents by
+	// BoostFactor in this retraining round (§8 "Learning from past
+	// mistakes").
+	BoostIDs    map[string]bool
+	BoostFactor float64
+	// MaxCPDExamples caps how many broad incidents train CPD+'s
+	// cluster-level forest (default 300; CPD is the expensive path).
+	MaxCPDExamples int
+	// Cache, when non-nil, memoizes featurization across retraining
+	// rounds. It must be dedicated to this (Config, Topology, Source)
+	// combination.
+	Cache *FeatureCache
+}
+
+// Scout is a trained per-team gate-keeper.
+type Scout struct {
+	cfg      *Config
+	fb       *FeatureBuilder
+	rf       *forest.Forest
+	cpdPlus  *cpd.Plus
+	selector DeciderModel
+	// trainMeans holds per-feature training means for imputation when a
+	// monitoring system is unavailable at inference time (§6).
+	trainMeans []float64
+	// Selector meta-training data, retained so alternative decider models
+	// can be fitted for comparison (Figure 8).
+	selDocs  []string
+	selWrong []bool
+	// detector holds the change-point parameters used at train time so
+	// cached CPD+ vectors stay consistent at inference.
+	detector cpd.Params
+}
+
+// ErrNoTrainingIncidents is returned when Train is given no incidents.
+var ErrNoTrainingIncidents = errors.New("core: no training incidents")
+
+// Train builds a Scout from a configuration and a labelled incident trace.
+// This is the Scout framework's "starter Scout" pipeline (Figure 5): the
+// team supplies only the configuration; everything else is automatic.
+func Train(opt TrainOptions) (*Scout, error) {
+	if opt.Config == nil || opt.Topology == nil || opt.Source == nil {
+		return nil, errors.New("core: Config, Topology and Source are required")
+	}
+	if len(opt.Incidents) == 0 {
+		return nil, ErrNoTrainingIncidents
+	}
+	if opt.Forest.NumTrees == 0 {
+		opt.Forest = forest.Params{NumTrees: 100, MaxDepth: 14, Seed: opt.Seed}
+	}
+	if opt.MaxCPDExamples <= 0 {
+		opt.MaxCPDExamples = 200
+	}
+	if opt.Detector.Permutations == 0 {
+		// CPD+ runs a permutation test per series; 29 permutations keep
+		// training fast at alpha = 0.05 resolution.
+		opt.Detector.Permutations = 29
+	}
+	s := &Scout{cfg: opt.Config, detector: opt.Detector}
+	s.fb = NewFeatureBuilder(opt.Config, opt.Topology, opt.Source)
+
+	// Featurize the trainable incidents (those with extractable
+	// components; the rest use legacy routing, §7).
+	type row struct {
+		in *incident.Incident
+		ex Extraction
+		x  []float64
+	}
+	var rows []row
+	for _, in := range opt.Incidents {
+		if e, ok := opt.Cache.get(in.ID); ok {
+			if e.ex.Excluded || e.ex.Empty {
+				continue
+			}
+			rows = append(rows, row{in: in, ex: e.ex, x: e.x})
+			continue
+		}
+		ex := s.fb.Extract(in.Title, in.Body, in.Components)
+		entry := &cacheEntry{ex: ex}
+		if !ex.Excluded && !ex.Empty {
+			entry.x = s.fb.Featurize(ex, in.CreatedAt)
+			rows = append(rows, row{in: in, ex: ex, x: entry.x})
+		}
+		opt.Cache.put(in.ID, entry)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: none of the %d incidents had extractable components", len(opt.Incidents))
+	}
+
+	d := mlcore.NewDataset(s.fb.FeatureNames())
+	for _, r := range rows {
+		d.MustAdd(mlcore.Sample{
+			X:    r.x,
+			Y:    r.in.OwnerLabel == opt.Config.Team,
+			Time: r.in.CreatedAt,
+			ID:   r.in.ID,
+		})
+	}
+	if opt.AgeDecayHours > 0 {
+		now := 0.0
+		for _, smp := range d.Samples {
+			if smp.Time > now {
+				now = smp.Time
+			}
+		}
+		d.AgeDecay(now, opt.AgeDecayHours)
+	}
+	if opt.BoostFactor > 0 && len(opt.BoostIDs) > 0 {
+		d.Boost(opt.BoostIDs, opt.BoostFactor)
+	}
+
+	// Selector meta-training: fit a preliminary forest on ~70%, label the
+	// held-out 30% by whether that forest got them right, and train the
+	// decider on those labels (§5.3 meta-learning).
+	fitIdx, holdIdx := holdoutSplit(d.Len(), opt.Seed)
+	var selErr error
+	if len(fitIdx) > 0 && len(holdIdx) > 0 {
+		pre, err := forest.Train(d.Subset(fitIdx), opt.Forest)
+		if err != nil {
+			return nil, fmt.Errorf("core: preliminary forest: %w", err)
+		}
+		var examples []selectorExample
+		for _, i := range holdIdx {
+			smp := d.Samples[i]
+			pred, _ := pre.Predict(smp.X)
+			examples = append(examples, selectorExample{
+				doc:     rows[i].in.Text(),
+				rfWrong: pred != smp.Y,
+				id:      smp.ID,
+			})
+			s.selDocs = append(s.selDocs, rows[i].in.Text())
+			s.selWrong = append(s.selWrong, pred != smp.Y)
+		}
+		opt.Selector.Forest.Seed = opt.Seed + 1
+		s.selector, selErr = trainSelector(examples, opt.Selector)
+		if selErr != nil {
+			return nil, selErr
+		}
+	} else {
+		s.selector = &Selector{}
+	}
+
+	// The main supervised model trains on everything.
+	rf, err := forest.Train(d, opt.Forest)
+	if err != nil {
+		return nil, fmt.Errorf("core: main forest: %w", err)
+	}
+	s.rf = rf
+
+	// CPD+ trains its cluster-level forest on broad incidents. Featurized
+	// vectors (the change-point detection output) are cached: they are the
+	// expensive part of retraining.
+	plusParams := cpd.PlusParams{
+		Datasets: s.fb.DatasetNames(),
+		Detector: opt.Detector,
+		Forest:   forest.Params{NumTrees: 40, MaxDepth: 8, Seed: opt.Seed + 2},
+	}
+	var cpdXs [][]float64
+	var cpdYs []bool
+	for _, r := range rows {
+		if !r.ex.Broad || len(cpdXs) >= opt.MaxCPDExamples {
+			continue
+		}
+		var vec []float64
+		if e, ok := opt.Cache.get(r.in.ID); ok && e.cpdX != nil {
+			vec = e.cpdX
+		} else {
+			vec = plusParams.Featurize(s.fb.CPDInput(r.ex, r.in.CreatedAt))
+			opt.Cache.setCPD(r.in.ID, vec)
+		}
+		cpdXs = append(cpdXs, vec)
+		cpdYs = append(cpdYs, r.in.OwnerLabel == opt.Config.Team)
+	}
+	plus, err := cpd.TrainPlusVectors(cpdXs, cpdYs, plusParams)
+	if err != nil {
+		return nil, fmt.Errorf("core: CPD+: %w", err)
+	}
+	s.cpdPlus = plus
+
+	// Training means for feature imputation.
+	s.trainMeans = make([]float64, d.Dim())
+	for _, smp := range d.Samples {
+		for j, v := range smp.X {
+			s.trainMeans[j] += v
+		}
+	}
+	for j := range s.trainMeans {
+		s.trainMeans[j] /= float64(d.Len())
+	}
+	return s, nil
+}
+
+// Predict classifies one incident at trigger time t using the text and the
+// structured component mentions available at that time. The end-to-end
+// pipeline of §5.3: exclusion rules → component gate → model selector →
+// RF or CPD+ → answer with confidence and explanation.
+func (s *Scout) Predict(title, body string, mentioned []string, t float64) Prediction {
+	ex := s.fb.Extract(title, body, mentioned)
+	if ex.Excluded {
+		return Prediction{
+			Verdict:     VerdictExcluded,
+			Responsible: false,
+			Confidence:  1,
+			Model:       "exclude-rule",
+			Explanation: "an operator EXCLUDE rule marks this incident out of scope for " + s.cfg.Team,
+		}
+	}
+	if ex.Empty {
+		return Prediction{
+			Verdict:     VerdictFallback,
+			Model:       "none",
+			Explanation: "no components could be extracted from the incident; deferring to the legacy routing process",
+		}
+	}
+	comps := ex.All()
+
+	useCPD, pWrong := s.selector.UseCPD(title + "\n" + body)
+	if useCPD {
+		label, conf, why := s.cpdPlus.Predict(s.fb.CPDInput(ex, t))
+		return Prediction{
+			Verdict:     verdictFor(label),
+			Responsible: label,
+			Confidence:  conf,
+			Model:       "cpd+",
+			Components:  comps,
+			Explanation: fmt.Sprintf("model selector flagged this as a new/rare incident (P(RF wrong)=%.2f); CPD+: %s", pWrong, why),
+		}
+	}
+
+	x := s.featurizeWithImputation(ex, t)
+	label, conf := s.rf.Predict(x)
+	expl := s.explainRF(x, label)
+	return Prediction{
+		Verdict:     verdictFor(label),
+		Responsible: label,
+		Confidence:  conf,
+		Model:       "rf",
+		Components:  comps,
+		Explanation: expl,
+	}
+}
+
+// PredictIncident classifies an incident at its creation time using the
+// initially-known component mentions.
+func (s *Scout) PredictIncident(in *incident.Incident) Prediction {
+	return s.Predict(in.Title, in.Body, in.InitialComponents, in.CreatedAt)
+}
+
+// PredictCached classifies an incident at creation time, reusing (and
+// filling) a feature cache. The cache must belong to this Scout's
+// (Config, Topology, Source) combination, and the monitoring registry must
+// not have changed since the cached entries were computed — retraining
+// replays satisfy both.
+//
+// Note the cache key is the incident ID and cached extraction uses the
+// incident's full component list, so PredictCached reflects the
+// steady-state information surface (as the training pipeline does).
+func (s *Scout) PredictCached(in *incident.Incident, cache *FeatureCache) Prediction {
+	e, ok := cache.get(in.ID)
+	if !ok {
+		ex := s.fb.Extract(in.Title, in.Body, in.Components)
+		e = &cacheEntry{ex: ex}
+		if !ex.Excluded && !ex.Empty {
+			e.x = s.fb.Featurize(ex, in.CreatedAt)
+		}
+		cache.put(in.ID, e)
+	}
+	if e.ex.Excluded {
+		return Prediction{Verdict: VerdictExcluded, Confidence: 1, Model: "exclude-rule"}
+	}
+	if e.ex.Empty {
+		return Prediction{Verdict: VerdictFallback, Model: "none"}
+	}
+	useCPD, pWrong := s.selector.UseCPD(in.Text())
+	if useCPD {
+		var label bool
+		var conf float64
+		var why string
+		if e.ex.Broad {
+			if e.cpdX == nil {
+				vec := cpd.PlusParams{Datasets: s.fb.DatasetNames(), Detector: s.detector}.Featurize(s.fb.CPDInput(e.ex, in.CreatedAt))
+				cache.setCPD(in.ID, vec)
+				e.cpdX = vec
+			}
+			label, conf, why = s.cpdPlus.PredictVector(e.cpdX)
+		} else {
+			label, conf, why = s.cpdPlus.Predict(s.fb.CPDInput(e.ex, in.CreatedAt))
+		}
+		return Prediction{
+			Verdict: verdictFor(label), Responsible: label, Confidence: conf,
+			Model: "cpd+", Components: e.ex.All(),
+			Explanation: fmt.Sprintf("model selector flagged this as new/rare (P(RF wrong)=%.2f); CPD+: %s", pWrong, why),
+		}
+	}
+	label, conf := s.rf.Predict(e.x)
+	return Prediction{
+		Verdict: verdictFor(label), Responsible: label, Confidence: conf,
+		Model: "rf", Components: e.ex.All(), Explanation: s.explainRF(e.x, label),
+	}
+}
+
+func verdictFor(responsible bool) Verdict {
+	if responsible {
+		return VerdictResponsible
+	}
+	return VerdictNotResponsible
+}
+
+// featurizeWithImputation builds the feature vector, substituting training
+// means for feature groups whose monitoring systems are currently
+// unavailable — exactly what the serving system does when a monitor fails
+// alongside the incident (§6).
+func (s *Scout) featurizeWithImputation(ex Extraction, t float64) []float64 {
+	x := s.fb.Featurize(ex, t)
+	available := map[string]bool{}
+	for _, d := range s.fb.source.Datasets() {
+		available[d.Name] = true
+	}
+	for _, g := range s.fb.groups {
+		missing := true
+		for _, d := range g.datasets {
+			if available[d.Name] {
+				missing = false
+				break
+			}
+		}
+		if !missing {
+			continue
+		}
+		for _, slot := range s.fb.groupSlots[g.name] {
+			x[slot] = s.trainMeans[slot]
+		}
+	}
+	return x
+}
+
+// explainRF renders the paper's operator-facing explanation (§8): the
+// components examined, the monitoring signals that drove the decision, and
+// the fine print about known failure modes.
+func (s *Scout) explainRF(x []float64, label bool) string {
+	_, contribs := s.rf.Explain(x)
+	var tops []string
+	for _, c := range contribs {
+		if len(tops) == 3 {
+			break
+		}
+		// Component-count features confuse operators even though the
+		// model finds them useful (§8): keep them out of explanations.
+		if strings.HasSuffix(c.Feature, ".ncomponents") {
+			continue
+		}
+		tops = append(tops, fmt.Sprintf("%s (%+.3f)", c.Feature, c.Value))
+	}
+	direction := "points away from"
+	if label {
+		direction = "points to"
+	}
+	out := fmt.Sprintf("random forest %s %s", direction, s.cfg.Team)
+	if len(tops) > 0 {
+		out += "; strongest signals: " + strings.Join(tops, ", ")
+	}
+	out += ". Known false negatives: transient issues already resolved, symptoms not covered by monitoring, incidents too broad in scope."
+	return out
+}
+
+// Evaluate runs the Scout over a set of incidents (at their creation time)
+// and returns the confusion matrix over usable verdicts, mirroring §7's
+// accuracy metrics. Fallback verdicts are skipped, as in the paper's
+// evaluation.
+func (s *Scout) Evaluate(ins []*incident.Incident) metrics.Confusion {
+	var c metrics.Confusion
+	for _, in := range ins {
+		p := s.PredictIncident(in)
+		if !p.Usable() {
+			continue
+		}
+		c.Add(p.Responsible, in.OwnerLabel == s.cfg.Team)
+	}
+	return c
+}
+
+// PredictWithModel forces one model path ("rf" or "cpd+"), bypassing the
+// model selector but keeping the exclusion and component gates. The Table 1
+// comparison evaluates each model in isolation this way.
+func (s *Scout) PredictWithModel(model, title, body string, mentioned []string, t float64) Prediction {
+	ex := s.fb.Extract(title, body, mentioned)
+	if ex.Excluded {
+		return Prediction{Verdict: VerdictExcluded, Confidence: 1, Model: "exclude-rule"}
+	}
+	if ex.Empty {
+		return Prediction{Verdict: VerdictFallback, Model: "none"}
+	}
+	if model == "cpd+" {
+		label, conf, why := s.cpdPlus.Predict(s.fb.CPDInput(ex, t))
+		return Prediction{
+			Verdict: verdictFor(label), Responsible: label, Confidence: conf,
+			Model: "cpd+", Components: ex.All(), Explanation: why,
+		}
+	}
+	x := s.featurizeWithImputation(ex, t)
+	label, conf := s.rf.Predict(x)
+	return Prediction{
+		Verdict: verdictFor(label), Responsible: label, Confidence: conf,
+		Model: "rf", Components: ex.All(), Explanation: s.explainRF(x, label),
+	}
+}
+
+// SetDecider swaps the model-selector decider — the Figure 8 experiment
+// compares the default bag-of-words RF against AdaBoost and one-class
+// SVMs.
+func (s *Scout) SetDecider(d DeciderModel) {
+	if d != nil {
+		s.selector = d
+	}
+}
+
+// SelectorExamples returns the selector's meta-training data: the held-out
+// incident texts and whether the preliminary RF misclassified each. Used
+// to fit alternative decider models.
+func (s *Scout) SelectorExamples() (docs []string, rfWrong []bool) {
+	return append([]string(nil), s.selDocs...), append([]bool(nil), s.selWrong...)
+}
+
+// FeatureNames exposes the feature layout (diagnostics, deflation study).
+func (s *Scout) FeatureNames() []string { return s.fb.FeatureNames() }
+
+// Builder exposes the feature builder (experiments need raw featurization).
+func (s *Scout) Builder() *FeatureBuilder { return s.fb }
+
+// Forest exposes the trained supervised model.
+func (s *Scout) Forest() *forest.Forest { return s.rf }
+
+// Team returns the configured team name.
+func (s *Scout) Team() string { return s.cfg.Team }
+
+// TrainMeans returns the per-feature training means (serving imputation).
+func (s *Scout) TrainMeans() []float64 { return append([]float64(nil), s.trainMeans...) }
+
+// TopFeatures returns the n most important features of the supervised
+// model, for reports.
+func (s *Scout) TopFeatures(n int) []string {
+	imp := s.rf.Importance()
+	names := s.fb.FeatureNames()
+	idx := make([]int, len(imp))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return imp[idx[a]] > imp[idx[b]] })
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]string, 0, n)
+	for _, i := range idx[:n] {
+		out = append(out, names[i])
+	}
+	return out
+}

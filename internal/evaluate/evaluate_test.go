@@ -1,0 +1,166 @@
+package evaluate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scouts/internal/core"
+	"scouts/internal/incident"
+)
+
+// fixedPredictor answers from a map of incident ID -> responsible.
+type fixedPredictor struct {
+	answers map[string]bool
+}
+
+func (f fixedPredictor) PredictIncident(in *incident.Incident) core.Prediction {
+	resp, ok := f.answers[in.ID]
+	if !ok {
+		return core.Prediction{Verdict: core.VerdictFallback, Model: "none"}
+	}
+	v := core.VerdictNotResponsible
+	if resp {
+		v = core.VerdictResponsible
+	}
+	return core.Prediction{Verdict: v, Responsible: resp, Confidence: 0.9, Model: "rf"}
+}
+
+const team = "PhyNet"
+
+func mkIncident(id string, owner string, hops ...incident.Hop) *incident.Incident {
+	return &incident.Incident{ID: id, OwnerLabel: owner, CreatedAt: hops[0].Enter, Hops: hops}
+}
+
+func TestGainInComputation(t *testing.T) {
+	// PhyNet-owned, mis-routed: 3h wasted at Storage, 1h at PhyNet.
+	in := mkIncident("a", team,
+		incident.Hop{Team: "Storage", Enter: 0, Exit: 3},
+		incident.Hop{Team: team, Enter: 3, Exit: 4},
+	)
+	r := Run(fixedPredictor{answers: map[string]bool{"a": true}}, []*incident.Incident{in}, team, nil, rand.New(rand.NewSource(1)))
+	if len(r.GainIn) != 1 || math.Abs(r.GainIn[0]-0.75) > 1e-9 {
+		t.Fatalf("gain-in = %v, want [0.75]", r.GainIn)
+	}
+	if math.Abs(r.BestGainIn[0]-0.75) > 1e-9 {
+		t.Fatalf("best gain-in = %v", r.BestGainIn)
+	}
+	if r.ErrorOut != 0 {
+		t.Fatalf("error-out = %v", r.ErrorOut)
+	}
+}
+
+func TestFalseNegativeZeroGain(t *testing.T) {
+	in := mkIncident("a", team,
+		incident.Hop{Team: "Storage", Enter: 0, Exit: 3},
+		incident.Hop{Team: team, Enter: 3, Exit: 4},
+	)
+	r := Run(fixedPredictor{answers: map[string]bool{"a": false}}, []*incident.Incident{in}, team, nil, rand.New(rand.NewSource(1)))
+	if r.GainIn[0] != 0 {
+		t.Fatalf("FN should yield zero gain, got %v", r.GainIn)
+	}
+	if r.ErrorOut != 1 {
+		t.Fatalf("error-out = %v, want 1", r.ErrorOut)
+	}
+	// The opportunity is still recorded as best possible.
+	if r.BestGainIn[0] != 0.75 {
+		t.Fatalf("best gain-in = %v", r.BestGainIn)
+	}
+}
+
+func TestGainOutComputation(t *testing.T) {
+	// Storage-owned, dragged through PhyNet for 2h of 4h.
+	in := mkIncident("b", "Storage",
+		incident.Hop{Team: team, Enter: 0, Exit: 2},
+		incident.Hop{Team: "Storage", Enter: 2, Exit: 4},
+	)
+	r := Run(fixedPredictor{answers: map[string]bool{"b": false}}, []*incident.Incident{in}, team, nil, rand.New(rand.NewSource(1)))
+	if len(r.GainOut) != 1 || math.Abs(r.GainOut[0]-0.5) > 1e-9 {
+		t.Fatalf("gain-out = %v", r.GainOut)
+	}
+	if r.OverheadIn[0] != 0 {
+		t.Fatalf("true negative should add zero overhead, got %v", r.OverheadIn)
+	}
+}
+
+func TestFalsePositiveSamplesOverhead(t *testing.T) {
+	in := mkIncident("c", "Storage",
+		incident.Hop{Team: "Storage", Enter: 0, Exit: 4},
+	)
+	baseline := []float64{0.3}
+	r := Run(fixedPredictor{answers: map[string]bool{"c": true}}, []*incident.Incident{in}, team, baseline, rand.New(rand.NewSource(1)))
+	if len(r.OverheadIn) != 1 || r.OverheadIn[0] != 0.3 {
+		t.Fatalf("overhead = %v, want sampled 0.3", r.OverheadIn)
+	}
+}
+
+func TestFallbackSkipped(t *testing.T) {
+	in := mkIncident("d", team, incident.Hop{Team: team, Enter: 0, Exit: 1})
+	r := Run(fixedPredictor{}, []*incident.Incident{in}, team, nil, rand.New(rand.NewSource(1)))
+	if r.Evaluated != 0 || r.Skipped != 1 {
+		t.Fatalf("evaluated=%d skipped=%d", r.Evaluated, r.Skipped)
+	}
+}
+
+func TestCorrectOnAlreadyCorrect(t *testing.T) {
+	// Correctly-routed PhyNet incident (single hop at PhyNet).
+	a := mkIncident("a", team, incident.Hop{Team: team, Enter: 0, Exit: 2})
+	// Non-PhyNet incident never touching PhyNet.
+	b := mkIncident("b", "DNS", incident.Hop{Team: "DNS", Enter: 0, Exit: 2})
+	r := Run(fixedPredictor{answers: map[string]bool{"a": true, "b": false}},
+		[]*incident.Incident{a, b}, team, nil, rand.New(rand.NewSource(1)))
+	if r.CorrectOnAlreadyCorrect != 1 {
+		t.Fatalf("correct-on-correct = %v", r.CorrectOnAlreadyCorrect)
+	}
+}
+
+func TestOverheadDistribution(t *testing.T) {
+	ins := []*incident.Incident{
+		mkIncident("a", "Storage",
+			incident.Hop{Team: team, Enter: 0, Exit: 1},
+			incident.Hop{Team: "Storage", Enter: 1, Exit: 4}),
+		mkIncident("b", team, incident.Hop{Team: team, Enter: 0, Exit: 2}),
+		mkIncident("c", "DNS", incident.Hop{Team: "DNS", Enter: 0, Exit: 1}),
+	}
+	d := OverheadDistribution(ins, team)
+	if len(d) != 1 || math.Abs(d[0]-0.25) > 1e-9 {
+		t.Fatalf("overhead distribution = %v", d)
+	}
+}
+
+func TestWastedAndTeamTimeAfter(t *testing.T) {
+	in := mkIncident("a", team,
+		incident.Hop{Team: "Storage", Enter: 0, Exit: 2},
+		incident.Hop{Team: "SLB", Enter: 2, Exit: 5},
+		incident.Hop{Team: team, Enter: 5, Exit: 7},
+	)
+	if got := WastedAfter(in, team, 0); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("WastedAfter(0) = %v", got)
+	}
+	if got := WastedAfter(in, team, 3); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("WastedAfter(3) = %v (partial hop clipping)", got)
+	}
+	if got := TeamTimeAfter(in, team, 6); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("TeamTimeAfter(6) = %v", got)
+	}
+	if got := TeamTimeAfter(in, team, 10); got != 0 {
+		t.Fatalf("TeamTimeAfter past end = %v", got)
+	}
+}
+
+func TestNthTeamExit(t *testing.T) {
+	in := mkIncident("a", team,
+		incident.Hop{Team: "Storage", Enter: 0, Exit: 2},
+		incident.Hop{Team: "SLB", Enter: 2, Exit: 5},
+		incident.Hop{Team: team, Enter: 5, Exit: 7},
+	)
+	if got := NthTeamExit(in, 0); got != 0 {
+		t.Fatalf("n=0: %v", got)
+	}
+	if got := NthTeamExit(in, 2); got != 5 {
+		t.Fatalf("n=2: %v", got)
+	}
+	if got := NthTeamExit(in, 10); got != 7 {
+		t.Fatalf("n beyond teams: %v", got)
+	}
+}

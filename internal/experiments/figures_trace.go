@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"scouts/internal/evaluate"
+	"scouts/internal/incident"
+	"scouts/internal/metrics"
+)
+
+// Figure1Result reproduces Figure 1: per-day fractions of PhyNet incidents
+// by creator (a), and the per-day mis-routed fraction of each creator
+// class (b).
+type Figure1Result struct {
+	CreatorCDFs   []Series // fraction of PhyNet incidents per day, per class
+	MisroutedCDFs []Series // fraction mis-routed per day, per class
+}
+
+func (f Figure1Result) String() string {
+	return renderSeries("Figure 1a: per-day fraction of PhyNet incidents by creator (CDF)", f.CreatorCDFs) +
+		renderSeries("Figure 1b: per-day mis-routed fraction by creator (CDF)", f.MisroutedCDFs)
+}
+
+// creatorClass buckets an incident by how it was created.
+func creatorClass(in *incident.Incident) string {
+	switch {
+	case in.Source == incident.SourceCustomer:
+		return "CRI"
+	case in.CreatedBy == Team:
+		return "PhyNet monitors"
+	default:
+		return "other teams' monitors"
+	}
+}
+
+// Figure1 computes both panels over the full trace.
+func Figure1(lab *Lab) Figure1Result {
+	days, groups := lab.Log.ByDay()
+	classes := []string{"CRI", "PhyNet monitors", "other teams' monitors"}
+	fractions := map[string][]float64{}
+	misFractions := map[string][]float64{}
+	for _, d := range days {
+		phynet := 0
+		counts := map[string]int{}
+		mis := map[string]int{}
+		classTotal := map[string]int{}
+		for _, in := range groups[d] {
+			if in.OwnerLabel == Team {
+				phynet++
+				counts[creatorClass(in)]++
+			}
+			classTotal[creatorClass(in)]++
+			if in.Misrouted() {
+				mis[creatorClass(in)]++
+			}
+		}
+		for _, cl := range classes {
+			if phynet > 0 {
+				fractions[cl] = append(fractions[cl], float64(counts[cl])/float64(phynet))
+			}
+			if classTotal[cl] > 0 {
+				misFractions[cl] = append(misFractions[cl], float64(mis[cl])/float64(classTotal[cl]))
+			}
+		}
+	}
+	var out Figure1Result
+	for _, cl := range classes {
+		out.CreatorCDFs = append(out.CreatorCDFs, cdfSeries(cl, fractions[cl], 11))
+		out.MisroutedCDFs = append(out.MisroutedCDFs, cdfSeries(cl, misFractions[cl], 11))
+	}
+	return out
+}
+
+// Figure2Result reproduces Figure 2: normalized time-to-diagnosis CDFs for
+// incidents investigated by a single team vs multiple teams, plus the mean
+// blow-up factor (paper: 10x).
+type Figure2Result struct {
+	Single, Multi Series
+	MeanRatio     float64
+}
+
+func (f Figure2Result) String() string {
+	return renderSeries("Figure 2: time to diagnosis, single vs multiple teams (CDF, normalized)",
+		[]Series{f.Single, f.Multi}) +
+		fmt.Sprintf("  mean multi/single ratio: %.1fx (paper: ~10x)\n", f.MeanRatio)
+}
+
+// Figure2 computes the diagnosis-time comparison.
+func Figure2(lab *Lab) Figure2Result {
+	var single, multi []float64
+	maxT := 0.0
+	for _, in := range lab.Log.Incidents {
+		t := in.TotalTime()
+		if t > maxT {
+			maxT = t
+		}
+		if len(in.Teams()) == 1 {
+			single = append(single, t)
+		} else {
+			multi = append(multi, t)
+		}
+	}
+	norm := func(xs []float64) []float64 {
+		out := make([]float64, len(xs))
+		for i, v := range xs {
+			out[i] = v / maxT
+		}
+		return out
+	}
+	return Figure2Result{
+		Single:    cdfSeries("single team", norm(single), 11),
+		Multi:     cdfSeries("multiple teams", norm(multi), 11),
+		MeanRatio: metrics.Mean(multi) / metrics.Mean(single),
+	}
+}
+
+// Figure3Result reproduces Figure 3: the CDF of the share of investigation
+// time that perfect routing to PhyNet would eliminate, over the mis-routed
+// incidents PhyNet resolves.
+type Figure3Result struct {
+	Reducible Series
+}
+
+func (f Figure3Result) String() string {
+	return renderSeries("Figure 3: reducible investigation time (%) for mis-routed PhyNet incidents (CDF)",
+		[]Series{f.Reducible})
+}
+
+// Figure3 computes the reducible-time distribution.
+func Figure3(lab *Lab) Figure3Result {
+	var fracs []float64
+	for _, in := range lab.Log.OwnedBy(Team) {
+		if !in.Misrouted() {
+			continue
+		}
+		if t := in.TotalTime(); t > 0 {
+			fracs = append(fracs, 100*(t-in.TimeIn(Team))/t)
+		}
+	}
+	return Figure3Result{Reducible: cdfSeries("reducible %", fracs, 11)}
+}
+
+// Figure4Result reproduces Figure 4: the per-day fraction of
+// PhyNet-involving incidents where PhyNet was only a waypoint
+// (paper: median 35%).
+type Figure4Result struct {
+	Waypoint Series
+	Median   float64
+}
+
+func (f Figure4Result) String() string {
+	return renderSeries("Figure 4: per-day fraction (%) of incidents with PhyNet as innocent waypoint (CDF)",
+		[]Series{f.Waypoint}) +
+		fmt.Sprintf("  median: %.0f%% (paper: 35%%)\n", f.Median)
+}
+
+// Figure4 computes the waypoint distribution.
+func Figure4(lab *Lab) Figure4Result {
+	days, groups := lab.Log.ByDay()
+	var fracs []float64
+	for _, d := range days {
+		through, innocent := 0, 0
+		for _, in := range groups[d] {
+			if !in.WentThrough(Team) {
+				continue
+			}
+			through++
+			if in.OwnerLabel != Team {
+				innocent++
+			}
+		}
+		if through > 0 {
+			fracs = append(fracs, 100*float64(innocent)/float64(through))
+		}
+	}
+	sorted := sortedCopy(fracs)
+	return Figure4Result{
+		Waypoint: cdfSeries("waypoint %", fracs, 11),
+		Median:   metrics.Quantile(sorted, 0.5),
+	}
+}
+
+// Figure6Result reproduces Figure 6: the distribution of overhead-in to
+// PhyNet under the legacy routing process.
+type Figure6Result struct {
+	Overhead Series
+}
+
+func (f Figure6Result) String() string {
+	return renderSeries("Figure 6: baseline overhead-in to PhyNet (fraction of investigation time, CDF)",
+		[]Series{f.Overhead})
+}
+
+// Figure6 computes the baseline overhead distribution over the full trace.
+func Figure6(lab *Lab) Figure6Result {
+	d := evaluate.OverheadDistribution(lab.Log.Incidents, Team)
+	return Figure6Result{Overhead: cdfSeries("overhead-in", d, 11)}
+}

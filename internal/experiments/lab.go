@@ -1,0 +1,231 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation over the synthetic cloud. Each experiment is a pure function
+// of a Lab — a generated trace plus the trained PhyNet Scout and the
+// legacy NLP baseline — and returns a result type whose String() method
+// prints the same rows or series the paper reports. cmd/repro and the
+// repository benchmarks both drive these functions.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"scouts/internal/cloudsim"
+	"scouts/internal/core"
+	"scouts/internal/incident"
+	"scouts/internal/metrics"
+	"scouts/internal/ml/forest"
+	"scouts/internal/ml/mlcore"
+	"scouts/internal/text"
+)
+
+// LabParams size the reproduction.
+type LabParams struct {
+	// Seed fixes every random choice; the same seed regenerates identical
+	// tables.
+	Seed int64
+	// Days of trace (default 180; the paper uses ~270).
+	Days int
+	// IncidentsPerDay (default 12).
+	IncidentsPerDay float64
+}
+
+func (p LabParams) withDefaults() LabParams {
+	if p.Seed == 0 {
+		p.Seed = 20200810 // SIGCOMM '20 started August 10, 2020
+	}
+	if p.Days <= 0 {
+		p.Days = 180
+	}
+	if p.IncidentsPerDay <= 0 {
+		p.IncidentsPerDay = 12
+	}
+	return p
+}
+
+// Lab is the shared experimental setup.
+type Lab struct {
+	Params LabParams
+	Gen    *cloudsim.Generator
+	Log    *incident.Log
+	Cfg    *core.Config
+
+	// Train/Test is the §7 split: half the PhyNet incidents and 35% of the
+	// rest train; everything else tests.
+	Train, Test []*incident.Incident
+
+	Scout *core.Scout
+	NLP   *text.NLPRouter
+
+	// Cache memoizes featurization for retraining experiments. Valid only
+	// while the telemetry registry is untouched.
+	Cache *core.FeatureCache
+
+	// Feature matrices over the cached layout (trainable incidents only).
+	TrainX, TestX [][]float64
+	TrainY, TestY []bool
+	TrainIDs      []string
+	TestIDs       []string
+
+	mu sync.Mutex
+}
+
+// Team is the Scout's team in every experiment.
+const Team = cloudsim.TeamPhyNet
+
+// NewLab generates the trace, splits it per §7, and trains the PhyNet
+// Scout and the NLP baseline.
+func NewLab(p LabParams) (*Lab, error) {
+	p = p.withDefaults()
+	lab := &Lab{Params: p, Cache: core.NewFeatureCache()}
+	lab.Gen = cloudsim.New(cloudsim.Params{
+		Seed: p.Seed, Days: p.Days, IncidentsPerDay: p.IncidentsPerDay,
+	})
+	lab.Log = lab.Gen.Generate()
+
+	cfg, err := core.ParseConfig(core.DefaultPhyNetConfig)
+	if err != nil {
+		return nil, err
+	}
+	lab.Cfg = cfg
+
+	// §7 split: to counter class imbalance, only 35% of non-PhyNet
+	// incidents train; half of the PhyNet incidents train.
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	for _, in := range lab.Log.Incidents {
+		frac := 0.35
+		if in.OwnerLabel == Team {
+			frac = 0.5
+		}
+		if rng.Float64() < frac {
+			lab.Train = append(lab.Train, in)
+		} else {
+			lab.Test = append(lab.Test, in)
+		}
+	}
+
+	lab.Scout, err = core.Train(core.TrainOptions{
+		Config:    cfg,
+		Topology:  lab.Gen.Topology(),
+		Source:    lab.Gen.Telemetry(),
+		Incidents: lab.Train,
+		Seed:      p.Seed + 2,
+		Cache:     lab.Cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The legacy NLP recommender trains on the same incidents' text.
+	var docs, teams []string
+	for _, in := range lab.Train {
+		docs = append(docs, in.Text())
+		teams = append(teams, in.OwnerLabel)
+	}
+	lab.NLP, err = text.TrainNLPRouter(docs, teams, text.VocabOptions{MinDocFreq: 2})
+	if err != nil {
+		return nil, err
+	}
+
+	lab.buildMatrices()
+	return lab, nil
+}
+
+// buildMatrices featurizes train and test incidents once (through the
+// builder, warming the cache) for the model-comparison experiments.
+func (lab *Lab) buildMatrices() {
+	fb := lab.Scout.Builder()
+	feat := func(ins []*incident.Incident) (xs [][]float64, ys []bool, ids []string) {
+		for _, in := range ins {
+			ex := fb.Extract(in.Title, in.Body, in.Components)
+			if ex.Excluded || ex.Empty {
+				continue
+			}
+			xs = append(xs, fb.Featurize(ex, in.CreatedAt))
+			ys = append(ys, in.OwnerLabel == Team)
+			ids = append(ids, in.ID)
+		}
+		return xs, ys, ids
+	}
+	lab.TrainX, lab.TrainY, lab.TrainIDs = feat(lab.Train)
+	lab.TestX, lab.TestY, lab.TestIDs = feat(lab.Test)
+}
+
+// TrainSet materializes the cached training matrix as an mlcore.Dataset.
+func (lab *Lab) TrainSet() *mlcore.Dataset {
+	d := mlcore.NewDataset(lab.Scout.FeatureNames())
+	for i := range lab.TrainX {
+		d.MustAdd(mlcore.Sample{X: lab.TrainX[i], Y: lab.TrainY[i], ID: lab.TrainIDs[i]})
+	}
+	return d
+}
+
+// EvalVectors scores a classifier over the cached test matrix.
+func (lab *Lab) EvalVectors(clf mlcore.Classifier) metrics.Confusion {
+	var c metrics.Confusion
+	for i := range lab.TestX {
+		pred, _ := clf.Predict(lab.TestX[i])
+		c.Add(pred, lab.TestY[i])
+	}
+	return c
+}
+
+// MisroutedTest returns the mis-routed incidents of the test set — the
+// population the gain figures evaluate on.
+func (lab *Lab) MisroutedTest() []*incident.Incident {
+	var out []*incident.Incident
+	for _, in := range lab.Test {
+		if in.Misrouted() {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// RNG derives a deterministic rng for an experiment.
+func (lab *Lab) RNG(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(lab.Params.Seed ^ salt))
+}
+
+// DefaultForest is the forest parameterization experiments reuse when they
+// retrain on cached matrices.
+func (lab *Lab) DefaultForest(seed int64) forest.Params {
+	return forest.Params{NumTrees: 100, MaxDepth: 14, Seed: seed}
+}
+
+// --- small report helpers ---------------------------------------------
+
+// Series is a printable (x, y) series for figure reproduction.
+type Series struct {
+	Name   string
+	Points [][2]float64
+}
+
+// renderSeries prints series as aligned columns.
+func renderSeries(title string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(&b, "  series %s\n", s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "    %10.4f  %8.4f\n", p[0], p[1])
+		}
+	}
+	return b.String()
+}
+
+// cdfSeries samples an empirical CDF at n evenly spaced quantiles.
+func cdfSeries(name string, sample []float64, n int) Series {
+	c := metrics.NewCDF(sample)
+	return Series{Name: name, Points: c.Points(n)}
+}
+
+// sortedCopy returns a sorted copy.
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,190 @@
+package master
+
+import (
+	"math"
+	"sort"
+)
+
+// Reliability is the historically-measured accuracy profile of one team's
+// Scout, estimated from how its past answers matched eventual incident
+// owners. Appendix C: "more sophisticated algorithms can predict the team
+// 'most likely' to be responsible (the MLE estimate [54]) given the
+// historic accuracy of each Scout and its output confidence score".
+type Reliability struct {
+	// TruePositiveRate is P(Scout says yes | team responsible).
+	TruePositiveRate float64
+	// FalsePositiveRate is P(Scout says yes | team not responsible).
+	FalsePositiveRate float64
+	// Prior is P(team responsible) among routed incidents.
+	Prior float64
+}
+
+// clamp keeps probabilities usable in likelihoods.
+func clampProb(p float64) float64 {
+	if p < 1e-4 {
+		return 1e-4
+	}
+	if p > 1-1e-4 {
+		return 1 - 1e-4
+	}
+	return p
+}
+
+// MLEMaster routes by maximum-likelihood estimation over the joint Scout
+// answers: for every candidate team it computes the likelihood of the
+// observed yes/no pattern (weighted by each answer's confidence) under the
+// hypothesis "this team is responsible", multiplies by the team prior, and
+// picks the argmax. Unlike the strawman it degrades gracefully with
+// unreliable Scouts: a chronically wrong Scout's claims barely move the
+// posterior.
+type MLEMaster struct {
+	profiles map[string]Reliability
+}
+
+// NewMLE builds an MLE master from per-team reliability profiles.
+func NewMLE(profiles map[string]Reliability) *MLEMaster {
+	cp := map[string]Reliability{}
+	for t, r := range profiles {
+		cp[t] = r
+	}
+	return &MLEMaster{profiles: cp}
+}
+
+// EstimateReliability derives reliability profiles from labelled history:
+// for each team's Scout, its answers over past incidents paired with the
+// eventual owner.
+type HistoricalAnswer struct {
+	Team        string
+	Responsible bool // the Scout's answer
+	Actual      bool // was the team the eventual owner?
+}
+
+// EstimateReliability tallies historical answers into profiles, applying
+// add-one smoothing so a Scout with a short history is not treated as
+// perfectly reliable.
+func EstimateReliability(history []HistoricalAnswer) map[string]Reliability {
+	type tally struct{ tp, fnn, fp, tn float64 }
+	t := map[string]*tally{}
+	for _, h := range history {
+		x := t[h.Team]
+		if x == nil {
+			x = &tally{}
+			t[h.Team] = x
+		}
+		switch {
+		case h.Responsible && h.Actual:
+			x.tp++
+		case !h.Responsible && h.Actual:
+			x.fnn++
+		case h.Responsible && !h.Actual:
+			x.fp++
+		default:
+			x.tn++
+		}
+	}
+	out := map[string]Reliability{}
+	for team, x := range t {
+		pos := x.tp + x.fnn
+		neg := x.fp + x.tn
+		out[team] = Reliability{
+			TruePositiveRate:  (x.tp + 1) / (pos + 2),
+			FalsePositiveRate: (x.fp + 1) / (neg + 2),
+			Prior:             (pos + 1) / (pos + neg + 2),
+		}
+	}
+	return out
+}
+
+// Route scores every candidate team and returns the ranked posterior.
+// Candidates are the teams with answers plus any extra candidates given
+// (teams without Scouts compete through their priors alone). An empty
+// result means no information at all.
+func (m *MLEMaster) Route(answers []Answer, extraCandidates []string) []TeamPosterior {
+	candidates := map[string]bool{}
+	for _, a := range answers {
+		candidates[a.Team] = true
+	}
+	for _, t := range extraCandidates {
+		candidates[t] = true
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	var out []TeamPosterior
+	for team := range candidates {
+		prior := 1.0 / float64(len(candidates))
+		if p, ok := m.profiles[team]; ok && p.Prior > 0 {
+			prior = p.Prior
+		}
+		ll := math.Log(clampProb(prior))
+		for _, a := range answers {
+			if !a.Usable {
+				continue
+			}
+			ll += m.logLikelihood(a, a.Team == team)
+		}
+		out = append(out, TeamPosterior{Team: team, logScore: ll})
+	}
+	// Normalize via log-sum-exp for readable posteriors.
+	maxLL := math.Inf(-1)
+	for _, tp := range out {
+		if tp.logScore > maxLL {
+			maxLL = tp.logScore
+		}
+	}
+	var z float64
+	for i := range out {
+		out[i].Posterior = math.Exp(out[i].logScore - maxLL)
+		z += out[i].Posterior
+	}
+	for i := range out {
+		out[i].Posterior /= z
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Posterior != out[j].Posterior {
+			return out[i].Posterior > out[j].Posterior
+		}
+		return out[i].Team < out[j].Team
+	})
+	return out
+}
+
+// logLikelihood scores one Scout's answer under the hypothesis that
+// `responsible` states whether that Scout's team is the true owner. The
+// answer's confidence interpolates between an uninformative coin and the
+// Scout's historical rates.
+func (m *MLEMaster) logLikelihood(a Answer, responsible bool) float64 {
+	prof, ok := m.profiles[a.Team]
+	if !ok {
+		return 0 // unknown Scout: no information
+	}
+	var pYes float64
+	if responsible {
+		pYes = clampProb(prof.TruePositiveRate)
+	} else {
+		pYes = clampProb(prof.FalsePositiveRate)
+	}
+	// Confidence-weighted: at confidence 0.5 the answer carries no
+	// information; at 1.0 it carries the full historical likelihood.
+	w := (a.Confidence - 0.5) * 2
+	if w < 0 {
+		w = 0
+	}
+	if w > 1 {
+		w = 1
+	}
+	var p float64
+	if a.Responsible {
+		p = pYes
+	} else {
+		p = 1 - pYes
+	}
+	return w * math.Log(clampProb(p))
+}
+
+// TeamPosterior is one entry of the MLE ranking.
+type TeamPosterior struct {
+	Team      string
+	Posterior float64
+	logScore  float64
+}

@@ -1,0 +1,132 @@
+package master
+
+import (
+	"math"
+	"testing"
+)
+
+func reliableProfiles() map[string]Reliability {
+	return map[string]Reliability{
+		"PhyNet":  {TruePositiveRate: 0.95, FalsePositiveRate: 0.03, Prior: 0.3},
+		"Storage": {TruePositiveRate: 0.9, FalsePositiveRate: 0.05, Prior: 0.2},
+		"Flaky":   {TruePositiveRate: 0.55, FalsePositiveRate: 0.45, Prior: 0.2},
+	}
+}
+
+func TestMLESingleConfidentClaim(t *testing.T) {
+	m := NewMLE(reliableProfiles())
+	ranked := m.Route([]Answer{
+		{Team: "PhyNet", Responsible: true, Confidence: 0.95, Usable: true},
+		{Team: "Storage", Responsible: false, Confidence: 0.9, Usable: true},
+	}, nil)
+	if ranked[0].Team != "PhyNet" {
+		t.Fatalf("ranked: %+v", ranked)
+	}
+	if ranked[0].Posterior <= ranked[1].Posterior {
+		t.Fatal("posterior ordering broken")
+	}
+	var sum float64
+	for _, tp := range ranked {
+		sum += tp.Posterior
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("posteriors sum to %v", sum)
+	}
+}
+
+func TestMLEDiscountsFlakyScout(t *testing.T) {
+	m := NewMLE(reliableProfiles())
+	// The flaky Scout claims the incident while the reliable PhyNet Scout
+	// also claims it: PhyNet's claim should dominate because the flaky
+	// Scout's yes carries almost no likelihood weight.
+	ranked := m.Route([]Answer{
+		{Team: "PhyNet", Responsible: true, Confidence: 0.95, Usable: true},
+		{Team: "Flaky", Responsible: true, Confidence: 0.95, Usable: true},
+	}, nil)
+	if ranked[0].Team != "PhyNet" {
+		t.Fatalf("flaky scout outranked a reliable one: %+v", ranked)
+	}
+}
+
+func TestMLEConfidenceWeighting(t *testing.T) {
+	m := NewMLE(reliableProfiles())
+	confident := m.Route([]Answer{
+		{Team: "PhyNet", Responsible: true, Confidence: 0.99, Usable: true},
+		{Team: "Storage", Responsible: true, Confidence: 0.51, Usable: true},
+	}, nil)
+	if confident[0].Team != "PhyNet" {
+		t.Fatalf("confidence weighting failed: %+v", confident)
+	}
+	// At confidence 0.5 an answer is a coin flip: only priors separate.
+	coin := m.Route([]Answer{
+		{Team: "PhyNet", Responsible: true, Confidence: 0.5, Usable: true},
+		{Team: "Storage", Responsible: true, Confidence: 0.5, Usable: true},
+	}, nil)
+	if math.Abs(coin[0].Posterior-coin[1].Posterior) > 0.25 {
+		t.Fatalf("uninformative answers should leave posteriors near priors: %+v", coin)
+	}
+}
+
+func TestMLEUnusableIgnored(t *testing.T) {
+	m := NewMLE(reliableProfiles())
+	ranked := m.Route([]Answer{
+		{Team: "PhyNet", Responsible: true, Confidence: 0.99, Usable: false},
+		{Team: "Storage", Responsible: true, Confidence: 0.85, Usable: true},
+	}, nil)
+	if ranked[0].Team != "Storage" {
+		t.Fatalf("unusable answer should not route: %+v", ranked)
+	}
+}
+
+func TestMLEExtraCandidates(t *testing.T) {
+	m := NewMLE(reliableProfiles())
+	// Both Scouts say no: a Scout-less candidate should win on priors.
+	ranked := m.Route([]Answer{
+		{Team: "PhyNet", Responsible: false, Confidence: 0.95, Usable: true},
+		{Team: "Storage", Responsible: false, Confidence: 0.95, Usable: true},
+	}, []string{"DNS"})
+	if ranked[0].Team != "DNS" {
+		t.Fatalf("scoutless candidate should win when every Scout declines: %+v", ranked)
+	}
+}
+
+func TestMLEEmpty(t *testing.T) {
+	if got := NewMLE(nil).Route(nil, nil); got != nil {
+		t.Fatalf("no candidates should return nil, got %+v", got)
+	}
+}
+
+func TestEstimateReliability(t *testing.T) {
+	var history []HistoricalAnswer
+	// PhyNet: 9 TP, 1 FN, 1 FP, 9 TN.
+	for i := 0; i < 9; i++ {
+		history = append(history,
+			HistoricalAnswer{Team: "PhyNet", Responsible: true, Actual: true},
+			HistoricalAnswer{Team: "PhyNet", Responsible: false, Actual: false},
+		)
+	}
+	history = append(history,
+		HistoricalAnswer{Team: "PhyNet", Responsible: false, Actual: true},
+		HistoricalAnswer{Team: "PhyNet", Responsible: true, Actual: false},
+	)
+	prof := EstimateReliability(history)["PhyNet"]
+	if prof.TruePositiveRate < 0.8 || prof.TruePositiveRate > 0.9 {
+		t.Fatalf("TPR = %v (want ~(9+1)/(10+2))", prof.TruePositiveRate)
+	}
+	if prof.FalsePositiveRate < 0.1 || prof.FalsePositiveRate > 0.2 {
+		t.Fatalf("FPR = %v", prof.FalsePositiveRate)
+	}
+	if math.Abs(prof.Prior-0.5) > 0.05 {
+		t.Fatalf("prior = %v", prof.Prior)
+	}
+}
+
+func TestEstimateReliabilitySmoothing(t *testing.T) {
+	// One perfect observation must not produce a perfect profile.
+	prof := EstimateReliability([]HistoricalAnswer{
+		{Team: "X", Responsible: true, Actual: true},
+	})["X"]
+	if prof.TruePositiveRate > 0.99 {
+		t.Fatalf("unsmoothed TPR: %v", prof.TruePositiveRate)
+	}
+}

@@ -1,0 +1,134 @@
+// Package bayes implements Gaussian naive Bayes, an alternative supervised
+// model from the paper's Table 4 comparison (GNB reaches only F1 = 0.73 on
+// the incident task — the feature independence assumption is a poor fit for
+// correlated telemetry statistics, which the reproduction should show too).
+package bayes
+
+import (
+	"errors"
+	"math"
+
+	"scouts/internal/ml/mlcore"
+)
+
+// Params configure Gaussian naive Bayes.
+type Params struct {
+	// VarSmoothing is added to every per-feature variance, as a fraction of
+	// the largest feature variance (default 1e-9, scikit-learn's default).
+	VarSmoothing float64
+}
+
+// GNB is a trained Gaussian naive Bayes classifier.
+type GNB struct {
+	logPrior [2]float64   // log P(class)
+	mean     [2][]float64 // per-class feature means
+	variance [2][]float64 // per-class feature variances (smoothed)
+}
+
+// ErrEmptyTrainingSet is returned when Train receives no samples.
+var ErrEmptyTrainingSet = errors.New("bayes: empty training set")
+
+// ErrSingleClass is returned when the training set has only one label.
+var ErrSingleClass = errors.New("bayes: training set contains a single class")
+
+func classIndex(y bool) int {
+	if y {
+		return 1
+	}
+	return 0
+}
+
+// Train estimates class priors and per-class feature Gaussians with sample
+// weights.
+func Train(d *mlcore.Dataset, p Params) (*GNB, error) {
+	if d.Len() == 0 {
+		return nil, ErrEmptyTrainingSet
+	}
+	if p.VarSmoothing <= 0 {
+		p.VarSmoothing = 1e-9
+	}
+	dim := d.Dim()
+	g := &GNB{}
+	var wSum [2]float64
+	for c := 0; c < 2; c++ {
+		g.mean[c] = make([]float64, dim)
+		g.variance[c] = make([]float64, dim)
+	}
+	for _, s := range d.Samples {
+		c := classIndex(s.Y)
+		w := s.W()
+		wSum[c] += w
+		for j, v := range s.X {
+			g.mean[c][j] += w * v
+		}
+	}
+	if wSum[0] == 0 || wSum[1] == 0 {
+		return nil, ErrSingleClass
+	}
+	for c := 0; c < 2; c++ {
+		for j := range g.mean[c] {
+			g.mean[c][j] /= wSum[c]
+		}
+	}
+	for _, s := range d.Samples {
+		c := classIndex(s.Y)
+		w := s.W()
+		for j, v := range s.X {
+			dv := v - g.mean[c][j]
+			g.variance[c][j] += w * dv * dv
+		}
+	}
+	// Smoothing scale: the largest overall feature variance.
+	maxVar := 0.0
+	for c := 0; c < 2; c++ {
+		for j := range g.variance[c] {
+			g.variance[c][j] /= wSum[c]
+			if g.variance[c][j] > maxVar {
+				maxVar = g.variance[c][j]
+			}
+		}
+	}
+	eps := p.VarSmoothing * maxVar
+	if eps <= 0 {
+		eps = p.VarSmoothing
+	}
+	for c := 0; c < 2; c++ {
+		for j := range g.variance[c] {
+			g.variance[c][j] += eps
+		}
+	}
+	total := wSum[0] + wSum[1]
+	g.logPrior[0] = math.Log(wSum[0] / total)
+	g.logPrior[1] = math.Log(wSum[1] / total)
+	return g, nil
+}
+
+// Trainer adapts Train to the mlcore.Trainer interface.
+func Trainer(p Params) mlcore.Trainer {
+	return mlcore.TrainerFunc(func(d *mlcore.Dataset) (mlcore.Classifier, error) {
+		return Train(d, p)
+	})
+}
+
+// logLikelihood computes log P(x | class c) under feature independence.
+func (g *GNB) logLikelihood(c int, x []float64) float64 {
+	ll := g.logPrior[c]
+	for j, v := range x {
+		dv := v - g.mean[c][j]
+		ll += -0.5*math.Log(2*math.Pi*g.variance[c][j]) - dv*dv/(2*g.variance[c][j])
+	}
+	return ll
+}
+
+// Predict returns the MAP class and its posterior probability.
+func (g *GNB) Predict(x []float64) (bool, float64) {
+	l0 := g.logLikelihood(0, x)
+	l1 := g.logLikelihood(1, x)
+	// Posterior via the log-sum-exp trick.
+	m := math.Max(l0, l1)
+	p1 := math.Exp(l1-m) / (math.Exp(l0-m) + math.Exp(l1-m))
+	if p1 >= 0.5 {
+		return true, p1
+	}
+	return false, 1 - p1
+}

@@ -1,0 +1,113 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scouts/internal/metrics"
+	"scouts/internal/ml/mlcore"
+)
+
+func blobs(n int, sep float64, rng *rand.Rand) *mlcore.Dataset {
+	d := mlcore.NewDataset([]string{"a", "b"})
+	for i := 0; i < n; i++ {
+		y := i%2 == 0
+		mu := 0.0
+		if y {
+			mu = sep
+		}
+		d.MustAdd(mlcore.Sample{X: []float64{mu + rng.NormFloat64(), rng.NormFloat64()}, Y: y})
+	}
+	return d
+}
+
+func TestGNBSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := blobs(500, 5, rng)
+	test := blobs(200, 5, rng)
+	g, err := Train(train, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c metrics.Confusion
+	for _, s := range test.Samples {
+		pred, conf := g.Predict(s.X)
+		if conf < 0.5 || conf > 1 {
+			t.Fatalf("conf %v", conf)
+		}
+		c.Add(pred, s.Y)
+	}
+	if c.F1() < 0.95 {
+		t.Fatalf("GNB F1 = %v (%s)", c.F1(), c.String())
+	}
+}
+
+func TestGNBPosteriorCalibrationAtMidpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := Train(blobs(4000, 4, rng), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the midpoint of two symmetric classes the posterior should be
+	// roughly 0.5 regardless of the winning label.
+	_, conf := g.Predict([]float64{2, 0})
+	if conf > 0.65 {
+		t.Fatalf("midpoint confidence %v should be near 0.5", conf)
+	}
+}
+
+func TestGNBErrors(t *testing.T) {
+	if _, err := Train(mlcore.NewDataset([]string{"a"}), Params{}); err != ErrEmptyTrainingSet {
+		t.Fatalf("want ErrEmptyTrainingSet, got %v", err)
+	}
+	d := mlcore.NewDataset([]string{"a"})
+	d.MustAdd(mlcore.Sample{X: []float64{1}, Y: true})
+	if _, err := Train(d, Params{}); err != ErrSingleClass {
+		t.Fatalf("want ErrSingleClass, got %v", err)
+	}
+}
+
+func TestGNBConstantFeatureSafe(t *testing.T) {
+	d := mlcore.NewDataset([]string{"const", "signal"})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		y := i%2 == 0
+		mu := 0.0
+		if y {
+			mu = 3
+		}
+		d.MustAdd(mlcore.Sample{X: []float64{7, mu + rng.NormFloat64()}, Y: y})
+	}
+	g, err := Train(d, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, conf := g.Predict([]float64{7, 3})
+	if !pred || math.IsNaN(conf) {
+		t.Fatalf("constant feature broke prediction: %v %v", pred, conf)
+	}
+}
+
+func TestGNBWeightedPrior(t *testing.T) {
+	// Identical feature distributions; only the weighted prior differs, so
+	// predictions should follow the heavier class.
+	d := mlcore.NewDataset([]string{"a"})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		y := i%2 == 0
+		w := 1.0
+		if y {
+			w = 9
+		}
+		d.MustAdd(mlcore.Sample{X: []float64{rng.NormFloat64()}, Y: y, Weight: w})
+	}
+	g, err := Train(d, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := g.Predict([]float64{0})
+	if !pred {
+		t.Fatal("heavier prior should win on uninformative features")
+	}
+}

@@ -1,0 +1,29 @@
+package cpd
+
+import (
+	"encoding/json"
+
+	"scouts/internal/ml/forest"
+)
+
+// plusDTO is the serialized form of a CPD+ model.
+type plusDTO struct {
+	Params PlusParams     `json:"params"`
+	RF     *forest.Forest `json:"rf,omitempty"`
+}
+
+// MarshalJSON serializes the CPD+ model for the serving pipeline.
+func (c *Plus) MarshalJSON() ([]byte, error) {
+	return json.Marshal(plusDTO{Params: c.params, RF: c.rf})
+}
+
+// UnmarshalJSON restores a serialized CPD+ model.
+func (c *Plus) UnmarshalJSON(b []byte) error {
+	var dto plusDTO
+	if err := json.Unmarshal(b, &dto); err != nil {
+		return err
+	}
+	c.params = dto.Params
+	c.rf = dto.RF
+	return nil
+}

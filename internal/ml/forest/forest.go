@@ -1,0 +1,195 @@
+// Package forest implements CART decision trees and random forests with
+// weighted Gini splitting, bootstrap aggregation, mean-decrease-in-impurity
+// feature importance, and per-prediction feature contributions following
+// Palczewska et al. [57] — the explanation mechanism §8 of the paper calls
+// "crucial" for operator acceptance.
+//
+// Random forests are the supervised model of the PhyNet Scout (§5.2.1): they
+// learn the relationship between an incident's per-component telemetry
+// statistics and whether the team is responsible, resist over-fitting, and
+// can explain each routing decision.
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"scouts/internal/ml/mlcore"
+)
+
+// Params configure random-forest training.
+type Params struct {
+	// NumTrees is the ensemble size (default 100).
+	NumTrees int
+	// MaxDepth bounds tree depth (default 12).
+	MaxDepth int
+	// MinLeaf is the minimum total sample weight per leaf (default 2).
+	MinLeaf float64
+	// MTry is the number of features examined per split; 0 selects
+	// round(sqrt(dim)), the standard classification heuristic.
+	MTry int
+	// Seed makes training deterministic.
+	Seed int64
+	// Bootstrap resamples the training set per tree when true (default).
+	// DisableBootstrap turns it off (each tree sees all samples, useful in
+	// tests that need exact reproducibility of a single tree).
+	DisableBootstrap bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.NumTrees <= 0 {
+		p.NumTrees = 100
+	}
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 12
+	}
+	if p.MinLeaf <= 0 {
+		p.MinLeaf = 2
+	}
+	return p
+}
+
+// Forest is a trained random-forest classifier.
+type Forest struct {
+	trees    []*tree
+	features []string
+	imp      []float64 // normalized mean decrease in impurity
+	params   Params
+}
+
+// ErrEmptyTrainingSet is returned when Train is called with no samples.
+var ErrEmptyTrainingSet = errors.New("forest: empty training set")
+
+// Train grows a random forest on the dataset.
+func Train(d *mlcore.Dataset, p Params) (*Forest, error) {
+	if d.Len() == 0 {
+		return nil, ErrEmptyTrainingSet
+	}
+	p = p.withDefaults()
+	mtry := p.MTry
+	if mtry <= 0 {
+		mtry = int(math.Round(math.Sqrt(float64(d.Dim()))))
+		if mtry < 1 {
+			mtry = 1
+		}
+	}
+	f := &Forest{
+		features: d.Features,
+		imp:      make([]float64, d.Dim()),
+		params:   p,
+	}
+	seedGen := newRNG(uint64(p.Seed))
+	for t := 0; t < p.NumTrees; t++ {
+		tp := &treeParams{
+			maxDepth: p.MaxDepth,
+			minLeaf:  p.MinLeaf,
+			mtry:     mtry,
+			featImp:  f.imp,
+			rng:      newRNG(seedGen.next()),
+		}
+		idx := make([]int, d.Len())
+		if p.DisableBootstrap {
+			for i := range idx {
+				idx[i] = i
+			}
+		} else {
+			for i := range idx {
+				idx[i] = tp.rng.intn(d.Len())
+			}
+		}
+		f.trees = append(f.trees, buildTree(d, idx, tp))
+	}
+	// Normalize importance to sum to 1 (when any split happened).
+	var total float64
+	for _, v := range f.imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range f.imp {
+			f.imp[i] /= total
+		}
+	}
+	return f, nil
+}
+
+// Trainer returns an mlcore.Trainer that trains forests with the params.
+func Trainer(p Params) mlcore.Trainer {
+	return mlcore.TrainerFunc(func(d *mlcore.Dataset) (mlcore.Classifier, error) {
+		return Train(d, p)
+	})
+}
+
+// PredictProb returns the forest's positive-class probability for x.
+func (f *Forest) PredictProb(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// Predict implements mlcore.Classifier: the label and a confidence in
+// [0.5, 1] for that label.
+func (f *Forest) Predict(x []float64) (bool, float64) {
+	p := f.PredictProb(x)
+	if p >= 0.5 {
+		return true, p
+	}
+	return false, 1 - p
+}
+
+// Importance returns the normalized mean-decrease-in-impurity importance of
+// every feature, aligned with Features().
+func (f *Forest) Importance() []float64 {
+	out := make([]float64, len(f.imp))
+	copy(out, f.imp)
+	return out
+}
+
+// Features returns the feature names the forest was trained on.
+func (f *Forest) Features() []string { return f.features }
+
+// Contribution is one feature's share of a prediction's deviation from the
+// training prior, used to explain routing decisions to operators.
+type Contribution struct {
+	Feature string
+	Value   float64 // signed contribution to the positive-class probability
+}
+
+// Explain decomposes the prediction for x as prior + sum(contributions)
+// following Palczewska et al. It returns the prior and the per-feature
+// contributions sorted by decreasing absolute value.
+func (f *Forest) Explain(x []float64) (prior float64, contribs []Contribution) {
+	raw := make([]float64, len(f.features))
+	if len(f.trees) == 0 {
+		return 0, nil
+	}
+	for _, t := range f.trees {
+		prior += t.contributions(x, raw)
+	}
+	prior /= float64(len(f.trees))
+	contribs = make([]Contribution, 0, len(raw))
+	for i, v := range raw {
+		v /= float64(len(f.trees))
+		if v != 0 {
+			contribs = append(contribs, Contribution{Feature: f.features[i], Value: v})
+		}
+	}
+	sort.Slice(contribs, func(i, j int) bool {
+		return math.Abs(contribs[i].Value) > math.Abs(contribs[j].Value)
+	})
+	return prior, contribs
+}
+
+// NumTrees reports the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// String summarizes the forest for logs.
+func (f *Forest) String() string {
+	return fmt.Sprintf("RandomForest(trees=%d, dim=%d)", len(f.trees), len(f.features))
+}

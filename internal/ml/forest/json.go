@@ -1,0 +1,67 @@
+package forest
+
+import (
+	"encoding/json"
+	"errors"
+)
+
+// nodeDTO is the serialized form of a tree node.
+type nodeDTO struct {
+	F int     `json:"f"` // split feature, -1 for leaf
+	T float64 `json:"t,omitempty"`
+	L int     `json:"l,omitempty"`
+	R int     `json:"r,omitempty"`
+	P float64 `json:"p"`
+	W float64 `json:"w,omitempty"`
+}
+
+// forestDTO is the serialized form of a Forest.
+type forestDTO struct {
+	Features []string    `json:"features"`
+	Imp      []float64   `json:"importance"`
+	Params   Params      `json:"params"`
+	Trees    [][]nodeDTO `json:"trees"`
+}
+
+// MarshalJSON serializes the forest (model persistence for the serving
+// pipeline, §6).
+func (f *Forest) MarshalJSON() ([]byte, error) {
+	dto := forestDTO{Features: f.features, Imp: f.imp, Params: f.params}
+	for _, t := range f.trees {
+		nodes := make([]nodeDTO, len(t.nodes))
+		for i, n := range t.nodes {
+			nodes[i] = nodeDTO{F: n.feature, T: n.threshold, L: n.left, R: n.right, P: n.prob, W: n.weight}
+		}
+		dto.Trees = append(dto.Trees, nodes)
+	}
+	return json.Marshal(dto)
+}
+
+// UnmarshalJSON restores a forest serialized with MarshalJSON.
+func (f *Forest) UnmarshalJSON(b []byte) error {
+	var dto forestDTO
+	if err := json.Unmarshal(b, &dto); err != nil {
+		return err
+	}
+	if len(dto.Trees) == 0 {
+		return errors.New("forest: snapshot contains no trees")
+	}
+	f.features = dto.Features
+	f.imp = dto.Imp
+	f.params = dto.Params
+	f.trees = nil
+	for _, nodes := range dto.Trees {
+		t := &tree{nodes: make([]node, len(nodes))}
+		for i, n := range nodes {
+			if n.F >= len(dto.Features) {
+				return errors.New("forest: snapshot node references unknown feature")
+			}
+			if n.L < 0 || n.L >= len(nodes) || n.R < 0 || n.R >= len(nodes) {
+				return errors.New("forest: snapshot node references out-of-range child")
+			}
+			t.nodes[i] = node{feature: n.F, threshold: n.T, left: n.L, right: n.R, prob: n.P, weight: n.W}
+		}
+		f.trees = append(f.trees, t)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package forest
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"scouts/internal/ml/mlcore"
+)
+
+func TestForestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := mlcore.NewDataset([]string{"a", "b"})
+	for i := 0; i < 200; i++ {
+		y := rng.Float64() < 0.5
+		mu := 0.0
+		if y {
+			mu = 3
+		}
+		d.MustAdd(mlcore.Sample{X: []float64{mu + rng.NormFloat64(), rng.NormFloat64()}, Y: y})
+	}
+	f, err := Train(d, Params{NumTrees: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Forest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.NormFloat64() * 3, rng.NormFloat64()}
+		if f.PredictProb(x) != back.PredictProb(x) {
+			t.Fatalf("round trip changed prediction at %v", x)
+		}
+	}
+	if back.NumTrees() != f.NumTrees() {
+		t.Fatal("tree count changed")
+	}
+	// Explanations survive too.
+	p1, c1 := f.Explain([]float64{3, 0})
+	p2, c2 := back.Explain([]float64{3, 0})
+	if p1 != p2 || len(c1) != len(c2) {
+		t.Fatal("explanation changed across round trip")
+	}
+}
+
+func TestForestJSONRejectsCorrupt(t *testing.T) {
+	var f Forest
+	if err := json.Unmarshal([]byte(`{"features":["a"],"trees":[]}`), &f); err == nil {
+		t.Fatal("no trees should be rejected")
+	}
+	if err := json.Unmarshal([]byte(`{"features":["a"],"trees":[[{"f":5,"p":0.5}]]}`), &f); err == nil {
+		t.Fatal("out-of-range feature should be rejected")
+	}
+	if err := json.Unmarshal([]byte(`{"features":["a"],"trees":[[{"f":0,"l":7,"r":0,"p":0.5}]]}`), &f); err == nil {
+		t.Fatal("out-of-range child should be rejected")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &f); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+}

@@ -1,0 +1,230 @@
+package forest
+
+import (
+	"sort"
+
+	"scouts/internal/ml/mlcore"
+)
+
+// node is one node of a CART tree. Leaves have feature == -1.
+type node struct {
+	feature     int     // split feature index, -1 for leaf
+	threshold   float64 // go left when x[feature] <= threshold
+	left, right int     // child indices into tree.nodes
+	prob        float64 // weighted fraction of positive samples reaching here
+	weight      float64 // total sample weight reaching here (training time)
+}
+
+// tree is a CART classification tree trained with weighted Gini impurity.
+type tree struct {
+	nodes []node
+}
+
+type treeParams struct {
+	maxDepth    int
+	minLeaf     float64 // minimum total weight in a leaf
+	mtry        int     // features considered per split; <=0 means all
+	featImp     []float64
+	rng         *rng
+	minImpurity float64
+}
+
+// rng is a tiny splitmix64 generator. The forest trains trees in parallel
+// in principle; keeping a local generator per tree avoids math/rand lock
+// contention and keeps training fully deterministic given the seed.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed ^ 0x9E3779B97F4A7C15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// buildTree grows a tree on the given sample indices of d.
+func buildTree(d *mlcore.Dataset, idx []int, p *treeParams) *tree {
+	t := &tree{}
+	t.grow(d, idx, p, 0)
+	return t
+}
+
+// grow appends a subtree for idx and returns its root node index.
+func (t *tree) grow(d *mlcore.Dataset, idx []int, p *treeParams, depth int) int {
+	var wSum, wPos float64
+	for _, i := range idx {
+		w := d.Samples[i].W()
+		wSum += w
+		if d.Samples[i].Y {
+			wPos += w
+		}
+	}
+	me := len(t.nodes)
+	t.nodes = append(t.nodes, node{feature: -1, prob: safeDiv(wPos, wSum), weight: wSum})
+
+	if depth >= p.maxDepth || wSum <= p.minLeaf || wPos == 0 || wPos == wSum {
+		return me
+	}
+	feat, thr, gain := t.bestSplit(d, idx, p, wSum, wPos)
+	if feat < 0 || gain <= p.minImpurity {
+		return me
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if d.Samples[i].X[feat] <= thr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return me
+	}
+	if p.featImp != nil {
+		p.featImp[feat] += gain * wSum
+	}
+	t.nodes[me].feature = feat
+	t.nodes[me].threshold = thr
+	l := t.grow(d, leftIdx, p, depth+1)
+	t.nodes[me].left = l
+	r := t.grow(d, rightIdx, p, depth+1)
+	t.nodes[me].right = r
+	return me
+}
+
+// bestSplit scans a random subset of features (mtry) and returns the split
+// with the largest Gini gain.
+func (t *tree) bestSplit(d *mlcore.Dataset, idx []int, p *treeParams, wSum, wPos float64) (feat int, thr, gain float64) {
+	dim := d.Dim()
+	mtry := p.mtry
+	if mtry <= 0 || mtry > dim {
+		mtry = dim
+	}
+	// Sample mtry distinct features by partial Fisher-Yates over a scratch
+	// permutation.
+	perm := make([]int, dim)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < mtry; i++ {
+		j := i + p.rng.intn(dim-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+
+	parentGini := gini(wPos, wSum)
+	feat, gain = -1, 0
+
+	type pair struct {
+		v float64
+		w float64
+		y bool
+	}
+	pairs := make([]pair, 0, len(idx))
+	for f := 0; f < mtry; f++ {
+		fi := perm[f]
+		pairs = pairs[:0]
+		for _, i := range idx {
+			s := d.Samples[i]
+			pairs = append(pairs, pair{v: s.X[fi], w: s.W(), y: s.Y})
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		var lw, lp float64
+		for k := 0; k < len(pairs)-1; k++ {
+			lw += pairs[k].w
+			if pairs[k].y {
+				lp += pairs[k].w
+			}
+			if pairs[k].v == pairs[k+1].v {
+				continue // cannot split between equal values
+			}
+			rw, rp := wSum-lw, wPos-lp
+			if lw < p.minLeaf || rw < p.minLeaf {
+				continue
+			}
+			g := parentGini - (lw/wSum)*gini(lp, lw) - (rw/wSum)*gini(rp, rw)
+			if g > gain {
+				gain = g
+				feat = fi
+				thr = (pairs[k].v + pairs[k+1].v) / 2
+			}
+		}
+	}
+	return feat, thr, gain
+}
+
+func gini(pos, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	p := pos / total
+	return 2 * p * (1 - p)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// predict returns the positive-class probability at the leaf x lands in.
+func (t *tree) predict(x []float64) float64 {
+	n := 0
+	for {
+		nd := t.nodes[n]
+		if nd.feature < 0 {
+			return nd.prob
+		}
+		if x[nd.feature] <= nd.threshold {
+			n = nd.left
+		} else {
+			n = nd.right
+		}
+	}
+}
+
+// contributions implements the feature-contribution decomposition of
+// Palczewska et al. ("Interpreting random forest models using a feature
+// contribution method", 2013): prediction = root prior + sum over path of
+// (child mean - parent mean), attributed to the split feature. It adds the
+// per-feature contributions for x into out and returns the root prior.
+func (t *tree) contributions(x []float64, out []float64) float64 {
+	n := 0
+	prior := t.nodes[0].prob
+	for {
+		nd := t.nodes[n]
+		if nd.feature < 0 {
+			return prior
+		}
+		var next int
+		if x[nd.feature] <= nd.threshold {
+			next = nd.left
+		} else {
+			next = nd.right
+		}
+		out[nd.feature] += t.nodes[next].prob - nd.prob
+		n = next
+	}
+}
+
+// depth returns the maximum depth of the tree (root = 0). Used in tests.
+func (t *tree) depth() int {
+	var walk func(n, d int) int
+	walk = func(n, d int) int {
+		nd := t.nodes[n]
+		if nd.feature < 0 {
+			return d
+		}
+		return max(walk(nd.left, d+1), walk(nd.right, d+1))
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return walk(0, 0)
+}

@@ -1,0 +1,108 @@
+package neighbors
+
+import (
+	"math/rand"
+	"testing"
+
+	"scouts/internal/metrics"
+	"scouts/internal/ml/mlcore"
+)
+
+// blobs builds two Gaussian classes separated along the first feature, with
+// a second feature on a very different scale to exercise standardization.
+func blobs(n int, sep float64, rng *rand.Rand) *mlcore.Dataset {
+	d := mlcore.NewDataset([]string{"x", "scaled"})
+	for i := 0; i < n; i++ {
+		y := i%2 == 0
+		mu := 0.0
+		if y {
+			mu = sep
+		}
+		d.MustAdd(mlcore.Sample{
+			X: []float64{mu + rng.NormFloat64(), 1000 * rng.NormFloat64()},
+			Y: y,
+		})
+	}
+	return d
+}
+
+func TestKNNSeparableBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := blobs(400, 6, rng)
+	test := blobs(200, 6, rng)
+	k, err := Train(train, DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c metrics.Confusion
+	for _, s := range test.Samples {
+		pred, conf := k.Predict(s.X)
+		if conf < 0.5 || conf > 1 {
+			t.Fatalf("confidence %v out of range", conf)
+		}
+		c.Add(pred, s.Y)
+	}
+	if c.F1() < 0.95 {
+		t.Fatalf("KNN F1 = %v on separable blobs (%s)", c.F1(), c.String())
+	}
+}
+
+func TestKNNStandardizationMatters(t *testing.T) {
+	// Without standardization, the noisy large-scale feature dominates the
+	// distance and accuracy collapses toward chance.
+	rng := rand.New(rand.NewSource(2))
+	train := blobs(400, 6, rng)
+	test := blobs(200, 6, rng)
+	raw, err := Train(train, Params{K: 5, Standardize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := Train(train, Params{K: 5, Standardize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cRaw, cStd metrics.Confusion
+	for _, s := range test.Samples {
+		p, _ := raw.Predict(s.X)
+		cRaw.Add(p, s.Y)
+		p, _ = std.Predict(s.X)
+		cStd.Add(p, s.Y)
+	}
+	if cStd.Accuracy() <= cRaw.Accuracy() {
+		t.Fatalf("standardization should help: raw %v vs std %v", cRaw.Accuracy(), cStd.Accuracy())
+	}
+}
+
+func TestKNNEmpty(t *testing.T) {
+	if _, err := Train(mlcore.NewDataset([]string{"a"}), DefaultParams); err != ErrEmptyTrainingSet {
+		t.Fatalf("want ErrEmptyTrainingSet, got %v", err)
+	}
+}
+
+func TestKNNKLargerThanData(t *testing.T) {
+	d := mlcore.NewDataset([]string{"a"})
+	d.MustAdd(mlcore.Sample{X: []float64{0}, Y: false})
+	d.MustAdd(mlcore.Sample{X: []float64{1}, Y: true})
+	k, err := Train(d, Params{K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, conf := k.Predict([]float64{0.5}); conf < 0.5 {
+		t.Fatalf("conf %v", conf)
+	}
+}
+
+func TestKNNWeightsBreakTies(t *testing.T) {
+	d := mlcore.NewDataset([]string{"a"})
+	// Equidistant neighbours; the heavier one should win.
+	d.MustAdd(mlcore.Sample{X: []float64{-1}, Y: false, Weight: 1})
+	d.MustAdd(mlcore.Sample{X: []float64{1}, Y: true, Weight: 3})
+	k, err := Train(d, Params{K: 2, Standardize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := k.Predict([]float64{0})
+	if !pred {
+		t.Fatal("weighted vote should favour the heavy positive neighbour")
+	}
+}

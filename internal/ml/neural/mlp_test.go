@@ -1,0 +1,97 @@
+package neural
+
+import (
+	"math/rand"
+	"testing"
+
+	"scouts/internal/metrics"
+	"scouts/internal/ml/mlcore"
+)
+
+func xor(n int, rng *rand.Rand) *mlcore.Dataset {
+	d := mlcore.NewDataset([]string{"a", "b"})
+	for i := 0; i < n; i++ {
+		a := rng.Float64() < 0.5
+		b := rng.Float64() < 0.5
+		xa, xb := -1.0, -1.0
+		if a {
+			xa = 1
+		}
+		if b {
+			xb = 1
+		}
+		d.MustAdd(mlcore.Sample{
+			X: []float64{xa + rng.NormFloat64()*0.2, xb + rng.NormFloat64()*0.2},
+			Y: a != b,
+		})
+	}
+	return d
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := xor(800, rng)
+	test := xor(300, rng)
+	m, err := Train(train, Params{Hidden: 16, Epochs: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c metrics.Confusion
+	for _, s := range test.Samples {
+		pred, conf := m.Predict(s.X)
+		if conf < 0.5 || conf > 1 {
+			t.Fatalf("conf %v", conf)
+		}
+		c.Add(pred, s.Y)
+	}
+	if c.F1() < 0.9 {
+		t.Fatalf("MLP F1 = %v on XOR (%s)", c.F1(), c.String())
+	}
+}
+
+func TestMLPEmpty(t *testing.T) {
+	if _, err := Train(mlcore.NewDataset([]string{"a"}), Params{}); err != ErrEmptyTrainingSet {
+		t.Fatalf("want ErrEmptyTrainingSet, got %v", err)
+	}
+}
+
+func TestMLPDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := xor(200, rng)
+	m1, _ := Train(d, Params{Hidden: 8, Epochs: 20, Seed: 7})
+	m2, _ := Train(d, Params{Hidden: 8, Epochs: 20, Seed: 7})
+	probe := []float64{0.5, -0.5}
+	if m1.PredictProb(probe) != m2.PredictProb(probe) {
+		t.Fatal("same seed must reproduce the network exactly")
+	}
+}
+
+func TestMLPProbabilityRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := Train(xor(300, rng), Params{Hidden: 8, Epochs: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p := m.PredictProb([]float64{rng.NormFloat64() * 100, rng.NormFloat64() * 100})
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of range", p)
+		}
+	}
+}
+
+func TestMLPSingleClassDoesNotDiverge(t *testing.T) {
+	d := mlcore.NewDataset([]string{"a"})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		d.MustAdd(mlcore.Sample{X: []float64{rng.NormFloat64()}, Y: true})
+	}
+	m, err := Train(d, Params{Hidden: 4, Epochs: 50, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := m.Predict([]float64{0})
+	if !pred {
+		t.Fatal("single-class MLP should saturate to that class")
+	}
+}

@@ -1,0 +1,18 @@
+package monitoring
+
+// DataSource is the read interface the Scout framework pulls monitoring
+// data through. The Store implements it for deployments that persist
+// telemetry; the cloud simulator implements it with deterministic lazy
+// synthesis so a nine-month trace needs no storage.
+type DataSource interface {
+	// Datasets lists the registered dataset descriptors.
+	Datasets() []Descriptor
+	// SeriesWindow returns the time-series values in [from, to) for a
+	// component, oldest first. Unknown datasets/components return nil.
+	SeriesWindow(dataset, component string, from, to float64) []float64
+	// EventsWindow returns the events in [from, to) for a component.
+	EventsWindow(dataset, component string, from, to float64) []EventRecord
+}
+
+// Interface conformance check.
+var _ DataSource = (*Store)(nil)

@@ -1,0 +1,280 @@
+// Package monitoring implements the monitoring-data substrate of §5.1: a
+// registry of datasets tagged with their resource locator, component
+// associations, data type (TIME_SERIES or EVENT) and optional class tag,
+// plus a windowed store the Scout pulls feature inputs from.
+//
+// Times throughout are normalized model hours (float64), matching the
+// paper's normalized investigation times.
+package monitoring
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"scouts/internal/topology"
+)
+
+// DataType distinguishes the two basic shapes every monitoring dataset is
+// reduced to (§5.1): regularly sampled time series and irregular events.
+type DataType int
+
+const (
+	// TimeSeries data is measured at a regular interval (utilization,
+	// temperature, latency, ...).
+	TimeSeries DataType = iota
+	// Event data occurs irregularly (alerts, syslog errors, reboots, ...).
+	Event
+)
+
+// String renders the data type like the configuration DSL does.
+func (d DataType) String() string {
+	if d == Event {
+		return "EVENT"
+	}
+	return "TIME_SERIES"
+}
+
+// Descriptor declares one monitoring dataset — the CREATE_MONITORING
+// statement of the configuration DSL.
+type Descriptor struct {
+	// Name identifies the dataset (e.g. "pingmesh").
+	Name string
+	// Locator is the opaque resource locator operators use to reach the
+	// data (a URI in production; informational here).
+	Locator string
+	// Type is TIME_SERIES or EVENT.
+	Type DataType
+	// ComponentType is the primary component granularity the data is keyed
+	// by.
+	ComponentType topology.ComponentType
+	// Covers lists every component type the dataset observes when it is
+	// broader than ComponentType (e.g. reboot records cover servers and
+	// switches). Empty means just ComponentType.
+	Covers []topology.ComponentType
+	// Class is the optional class tag enabling automatic combination of
+	// related datasets (§5.1; the PhyNet Scout tags only two datasets).
+	Class string
+	// Description is free-form documentation (Table 2's right column).
+	Description string
+}
+
+// CoversType reports whether the dataset observes components of the type.
+func (d Descriptor) CoversType(t topology.ComponentType) bool {
+	if len(d.Covers) == 0 {
+		return d.ComponentType == t
+	}
+	for _, c := range d.Covers {
+		if c == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Point is one time-series observation.
+type Point struct {
+	Time  float64
+	Value float64
+}
+
+// EventRecord is one event occurrence with its kind (e.g. a syslog type:
+// the framework counts events "per type of alert and per component").
+type EventRecord struct {
+	Time float64
+	Kind string
+}
+
+// Store holds monitoring data for all registered datasets. It is safe for
+// concurrent use; the online serving path reads while generators write.
+type Store struct {
+	mu        sync.RWMutex
+	desc      map[string]Descriptor
+	series    map[string]map[string][]Point
+	events    map[string]map[string][]EventRecord
+	retention float64 // hours of data kept; <= 0 keeps everything
+}
+
+// NewStore creates a store that retains the given number of hours of data
+// (§8 "Adding new features can be slow": retention had to be extended to
+// 9 months before the Scout could train).
+func NewStore(retentionHours float64) *Store {
+	return &Store{
+		desc:      map[string]Descriptor{},
+		series:    map[string]map[string][]Point{},
+		events:    map[string]map[string][]EventRecord{},
+		retention: retentionHours,
+	}
+}
+
+// Register adds a dataset to the registry.
+func (s *Store) Register(d Descriptor) error {
+	if d.Name == "" {
+		return fmt.Errorf("monitoring: dataset name required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.desc[d.Name]; dup {
+		return fmt.Errorf("monitoring: dataset %q already registered", d.Name)
+	}
+	s.desc[d.Name] = d
+	if d.Type == Event {
+		s.events[d.Name] = map[string][]EventRecord{}
+	} else {
+		s.series[d.Name] = map[string][]Point{}
+	}
+	return nil
+}
+
+// Deprecate removes a dataset and all its data — the Figure 9 experiment
+// ("old monitoring systems may be deprecated").
+func (s *Store) Deprecate(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.desc, name)
+	delete(s.series, name)
+	delete(s.events, name)
+}
+
+// Datasets lists registered descriptors sorted by name.
+func (s *Store) Datasets() []Descriptor {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Descriptor, 0, len(s.desc))
+	for _, d := range s.desc {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Describe returns the descriptor for a dataset.
+func (s *Store) Describe(name string) (Descriptor, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.desc[name]
+	return d, ok
+}
+
+// AppendPoint records a time-series observation. Appends must be in
+// non-decreasing time order per (dataset, component) so window queries can
+// binary-search.
+func (s *Store) AppendPoint(dataset, component string, p Point) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.series[dataset]
+	if !ok {
+		return fmt.Errorf("monitoring: %q is not a registered time-series dataset", dataset)
+	}
+	pts := m[component]
+	if n := len(pts); n > 0 && pts[n-1].Time > p.Time {
+		return fmt.Errorf("monitoring: out-of-order append to %s/%s (%.4f after %.4f)",
+			dataset, component, p.Time, pts[n-1].Time)
+	}
+	m[component] = append(pts, p)
+	return nil
+}
+
+// AppendEvent records an event occurrence (same ordering contract).
+func (s *Store) AppendEvent(dataset, component string, e EventRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.events[dataset]
+	if !ok {
+		return fmt.Errorf("monitoring: %q is not a registered event dataset", dataset)
+	}
+	evs := m[component]
+	if n := len(evs); n > 0 && evs[n-1].Time > e.Time {
+		return fmt.Errorf("monitoring: out-of-order append to %s/%s", dataset, component)
+	}
+	m[component] = append(evs, e)
+	return nil
+}
+
+// SeriesWindow returns the values of [from, to) for a component, in time
+// order. Missing datasets or components yield nil — uneven instrumentation
+// is the normal state of the world (§1).
+func (s *Store) SeriesWindow(dataset, component string, from, to float64) []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pts := s.series[dataset][component]
+	lo := sort.Search(len(pts), func(i int) bool { return pts[i].Time >= from })
+	hi := sort.Search(len(pts), func(i int) bool { return pts[i].Time >= to })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]float64, 0, hi-lo)
+	for _, p := range pts[lo:hi] {
+		out = append(out, p.Value)
+	}
+	return out
+}
+
+// EventsWindow returns the events in [from, to) for a component.
+func (s *Store) EventsWindow(dataset, component string, from, to float64) []EventRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	evs := s.events[dataset][component]
+	lo := sort.Search(len(evs), func(i int) bool { return evs[i].Time >= from })
+	hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time >= to })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]EventRecord, hi-lo)
+	copy(out, evs[lo:hi])
+	return out
+}
+
+// EventCounts returns per-kind counts of events in [from, to).
+func (s *Store) EventCounts(dataset, component string, from, to float64) map[string]int {
+	out := map[string]int{}
+	for _, e := range s.EventsWindow(dataset, component, from, to) {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// GC discards data older than the retention horizon relative to now.
+func (s *Store) GC(now float64) {
+	if s.retention <= 0 {
+		return
+	}
+	cut := now - s.retention
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, byComp := range s.series {
+		for comp, pts := range byComp {
+			lo := sort.Search(len(pts), func(i int) bool { return pts[i].Time >= cut })
+			if lo > 0 {
+				byComp[comp] = append([]Point(nil), pts[lo:]...)
+			}
+		}
+	}
+	for _, byComp := range s.events {
+		for comp, evs := range byComp {
+			lo := sort.Search(len(evs), func(i int) bool { return evs[i].Time >= cut })
+			if lo > 0 {
+				byComp[comp] = append([]EventRecord(nil), evs[lo:]...)
+			}
+		}
+	}
+}
+
+// Components returns the components with any data in a dataset, sorted.
+func (s *Store) Components(dataset string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	if m, ok := s.series[dataset]; ok {
+		for c := range m {
+			out = append(out, c)
+		}
+	}
+	if m, ok := s.events[dataset]; ok {
+		for c := range m {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

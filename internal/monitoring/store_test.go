@@ -1,0 +1,160 @@
+package monitoring
+
+import (
+	"sync"
+	"testing"
+
+	"scouts/internal/topology"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore(0)
+	if err := s.Register(Descriptor{Name: "ping", Type: TimeSeries, ComponentType: topology.TypeServer}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(Descriptor{Name: "syslog", Type: Event, ComponentType: topology.TypeSwitch}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	s := newStore(t)
+	if err := s.Register(Descriptor{Name: "ping", Type: TimeSeries}); err == nil {
+		t.Fatal("duplicate registration should fail")
+	}
+	if err := s.Register(Descriptor{}); err == nil {
+		t.Fatal("empty name should fail")
+	}
+}
+
+func TestSeriesWindow(t *testing.T) {
+	s := newStore(t)
+	for i := 0; i < 10; i++ {
+		if err := s.AppendPoint("ping", "srv1", Point{Time: float64(i), Value: float64(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.SeriesWindow("ping", "srv1", 3, 7)
+	if len(got) != 4 || got[0] != 30 || got[3] != 60 {
+		t.Fatalf("window = %v", got)
+	}
+	if s.SeriesWindow("ping", "srv1", 100, 200) != nil {
+		t.Fatal("empty window should be nil")
+	}
+	if s.SeriesWindow("ping", "unknown", 0, 10) != nil {
+		t.Fatal("unknown component should be nil")
+	}
+	if s.SeriesWindow("nope", "srv1", 0, 10) != nil {
+		t.Fatal("unknown dataset should be nil")
+	}
+}
+
+func TestAppendOrdering(t *testing.T) {
+	s := newStore(t)
+	if err := s.AppendPoint("ping", "srv1", Point{Time: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendPoint("ping", "srv1", Point{Time: 4}); err == nil {
+		t.Fatal("out-of-order append should fail")
+	}
+	if err := s.AppendPoint("ping", "srv1", Point{Time: 5}); err != nil {
+		t.Fatalf("equal-time append should be fine: %v", err)
+	}
+	if err := s.AppendPoint("syslog", "x", Point{}); err == nil {
+		t.Fatal("appending a point to an event dataset should fail")
+	}
+	if err := s.AppendEvent("ping", "x", EventRecord{}); err == nil {
+		t.Fatal("appending an event to a series dataset should fail")
+	}
+}
+
+func TestEventWindowAndCounts(t *testing.T) {
+	s := newStore(t)
+	kinds := []string{"LINK_DOWN", "LINK_DOWN", "PARITY", "LINK_DOWN"}
+	for i, k := range kinds {
+		if err := s.AppendEvent("syslog", "tor1", EventRecord{Time: float64(i), Kind: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := s.EventsWindow("syslog", "tor1", 1, 4)
+	if len(evs) != 3 {
+		t.Fatalf("events = %v", evs)
+	}
+	counts := s.EventCounts("syslog", "tor1", 0, 10)
+	if counts["LINK_DOWN"] != 3 || counts["PARITY"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestGCRespectsRetention(t *testing.T) {
+	s := NewStore(2) // keep 2 hours
+	if err := s.Register(Descriptor{Name: "cpu", Type: TimeSeries}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		_ = s.AppendPoint("cpu", "srv1", Point{Time: float64(i), Value: 1})
+	}
+	s.GC(10)
+	if got := s.SeriesWindow("cpu", "srv1", 0, 100); len(got) != 2 {
+		t.Fatalf("after GC want 2 points (t=8,9), got %d", len(got))
+	}
+}
+
+func TestDeprecate(t *testing.T) {
+	s := newStore(t)
+	_ = s.AppendPoint("ping", "srv1", Point{Time: 1, Value: 2})
+	s.Deprecate("ping")
+	if _, ok := s.Describe("ping"); ok {
+		t.Fatal("descriptor should be gone")
+	}
+	if s.SeriesWindow("ping", "srv1", 0, 10) != nil {
+		t.Fatal("data should be gone")
+	}
+	if len(s.Datasets()) != 1 {
+		t.Fatalf("datasets = %v", s.Datasets())
+	}
+}
+
+func TestComponents(t *testing.T) {
+	s := newStore(t)
+	_ = s.AppendPoint("ping", "srv2", Point{Time: 1})
+	_ = s.AppendPoint("ping", "srv1", Point{Time: 1})
+	got := s.Components("ping")
+	if len(got) != 2 || got[0] != "srv1" {
+		t.Fatalf("components = %v", got)
+	}
+}
+
+func TestConcurrentReadWrite(t *testing.T) {
+	s := newStore(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			comp := []string{"a", "b", "c", "d"}[w]
+			for i := 0; i < 200; i++ {
+				_ = s.AppendPoint("ping", comp, Point{Time: float64(i), Value: 1})
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = s.SeriesWindow("ping", "a", 0, float64(i))
+				_ = s.Datasets()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDataTypeString(t *testing.T) {
+	if TimeSeries.String() != "TIME_SERIES" || Event.String() != "EVENT" {
+		t.Fatal("DataType strings wrong")
+	}
+}

@@ -1,0 +1,82 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SaveStore persists every model version of a store to a directory, one
+// JSON file per version (model-000001.json, ...). The directory is created
+// if needed. Writing is atomic per file (write to temp, rename).
+func SaveStore(st *Store, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serving: creating %s: %w", dir, err)
+	}
+	st.mu.Lock()
+	models := append([]Model(nil), st.models...)
+	st.mu.Unlock()
+	for _, m := range models {
+		data, err := json.Marshal(m)
+		if err != nil {
+			return fmt.Errorf("serving: encoding v%d: %w", m.Version, err)
+		}
+		final := filepath.Join(dir, fmt.Sprintf("model-%06d.json", m.Version))
+		tmp := final + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return fmt.Errorf("serving: writing %s: %w", tmp, err)
+		}
+		if err := os.Rename(tmp, final); err != nil {
+			return fmt.Errorf("serving: committing %s: %w", final, err)
+		}
+	}
+	return nil
+}
+
+// LoadStore reads a directory written by SaveStore back into a Store.
+// Version numbers are re-derived from the file names, which must be
+// contiguous from 1.
+func LoadStore(dir string) (*Store, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serving: reading %s: %w", dir, err)
+	}
+	type vf struct {
+		v    int
+		name string
+	}
+	var files []vf
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "model-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, "model-"), ".json")
+		v, err := strconv.Atoi(num)
+		if err != nil {
+			continue
+		}
+		files = append(files, vf{v, name})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].v < files[j].v })
+	st := NewStore()
+	for i, f := range files {
+		if f.v != i+1 {
+			return nil, fmt.Errorf("serving: %s: versions not contiguous (want %d)", dir, i+1)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, f.name))
+		if err != nil {
+			return nil, err
+		}
+		var m Model
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("serving: decoding %s: %w", f.name, err)
+		}
+		st.models = append(st.models, m)
+	}
+	return st, nil
+}

@@ -1,0 +1,83 @@
+package serving
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := NewStore()
+	st.Put("PhyNet", []byte(`{"a":1}`))
+	st.Put("PhyNet", []byte(`{"a":2}`))
+	if err := SaveStore(st, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Versions() != 2 {
+		t.Fatalf("versions = %d", loaded.Versions())
+	}
+	m, ok := loaded.Get(2)
+	if !ok || string(m.Snapshot) != `{"a":2}` || m.Team != "PhyNet" {
+		t.Fatalf("v2 = %+v", m)
+	}
+}
+
+func TestLoadStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	st := NewStore()
+	st.Put("X", []byte("s"))
+	if err := SaveStore(st, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Versions() != 1 {
+		t.Fatalf("versions = %d", loaded.Versions())
+	}
+}
+
+func TestLoadStoreRejectsGaps(t *testing.T) {
+	dir := t.TempDir()
+	st := NewStore()
+	st.Put("X", []byte("a"))
+	st.Put("X", []byte("b"))
+	if err := SaveStore(st, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "model-000001.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadStore(dir); err == nil {
+		t.Fatal("gap in versions should be rejected")
+	}
+}
+
+func TestLoadStoreMissingDir(t *testing.T) {
+	if _, err := LoadStore(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing directory should error")
+	}
+}
+
+func TestSaveStoreEmptyOK(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveStore(NewStore(), dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Versions() != 0 {
+		t.Fatal("expected empty store")
+	}
+}

@@ -1,0 +1,285 @@
+// Package serving is the reproduction's Resource Central stand-in (§6):
+// the production ML system that manages the lifecycle of the Scout's
+// models. An offline component trains and snapshots models; a store
+// persists the versioned snapshots; an online component serves REST
+// predictions, hot-swapping models when a new version lands.
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scouts/internal/core"
+	"scouts/internal/incident"
+	"scouts/internal/monitoring"
+	"scouts/internal/topology"
+)
+
+// Model is one versioned, trained Scout.
+type Model struct {
+	Version   int       `json:"version"`
+	Team      string    `json:"team"`
+	TrainedAt time.Time `json:"trained_at"`
+	Snapshot  []byte    `json:"snapshot"`
+}
+
+// Store keeps versioned model snapshots (the "highly available storage
+// system" between the offline and online components).
+type Store struct {
+	mu     sync.Mutex
+	models []Model
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Put appends a new model version and returns its version number.
+func (st *Store) Put(team string, snapshot []byte) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	v := len(st.models) + 1
+	st.models = append(st.models, Model{
+		Version: v, Team: team, TrainedAt: time.Now().UTC(), Snapshot: snapshot,
+	})
+	return v
+}
+
+// Latest returns the newest model (ok == false when empty).
+func (st *Store) Latest() (Model, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.models) == 0 {
+		return Model{}, false
+	}
+	return st.models[len(st.models)-1], true
+}
+
+// Get returns a specific version.
+func (st *Store) Get(version int) (Model, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if version < 1 || version > len(st.models) {
+		return Model{}, false
+	}
+	return st.models[version-1], true
+}
+
+// Versions returns the number of stored versions.
+func (st *Store) Versions() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.models)
+}
+
+// Trainer is the offline component: it trains Scouts and publishes
+// snapshots to a store.
+type Trainer struct {
+	Store *Store
+}
+
+// TrainAndPublish trains a Scout and stores its snapshot, returning the
+// scout and the published version.
+func (tr *Trainer) TrainAndPublish(opt core.TrainOptions) (*core.Scout, int, error) {
+	scout, err := core.Train(opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	snap, err := scout.Snapshot()
+	if err != nil {
+		return nil, 0, err
+	}
+	return scout, tr.Store.Put(scout.Team(), snap), nil
+}
+
+// PredictRequest is the online API's input: the incident as the incident
+// manager sees it.
+type PredictRequest struct {
+	Title      string   `json:"title"`
+	Body       string   `json:"body"`
+	Components []string `json:"components,omitempty"`
+	// Time is the trigger time in model hours. Zero means "now" is
+	// meaningless for the synthetic substrate, so it is required.
+	Time float64 `json:"time"`
+}
+
+// PredictResponse is the online API's output: the Scout's full answer with
+// the §8 operator guidance attached.
+type PredictResponse struct {
+	Team           string   `json:"team"`
+	Verdict        string   `json:"verdict"`
+	Responsible    bool     `json:"responsible"`
+	Confidence     float64  `json:"confidence"`
+	Model          string   `json:"model"`
+	Components     []string `json:"components,omitempty"`
+	Explanation    string   `json:"explanation"`
+	Recommendation string   `json:"recommendation"`
+	ModelVersion   int      `json:"model_version"`
+}
+
+// Server is the online component: a REST scorer with hot-swappable models.
+type Server struct {
+	topo   *topology.Topology
+	source monitoring.DataSource
+	store  *Store
+
+	current atomic.Pointer[servingModel]
+	logger  *log.Logger
+}
+
+type servingModel struct {
+	scout   *core.Scout
+	version int
+}
+
+// NewServer builds an online scorer over a data source. Call Reload (or
+// serve a model via the store) before the first prediction.
+func NewServer(topo *topology.Topology, source monitoring.DataSource, store *Store, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(logDiscard{}, "", 0)
+	}
+	return &Server{topo: topo, source: source, store: store, logger: logger}
+}
+
+type logDiscard struct{}
+
+func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Reload loads the newest snapshot from the store.
+func (s *Server) Reload() error {
+	m, ok := s.store.Latest()
+	if !ok {
+		return fmt.Errorf("serving: store is empty")
+	}
+	scout, err := core.Restore(m.Snapshot, s.topo, s.source)
+	if err != nil {
+		return fmt.Errorf("serving: restoring v%d: %w", m.Version, err)
+	}
+	s.current.Store(&servingModel{scout: scout, version: m.Version})
+	s.logger.Printf("serving: loaded %s scout v%d", m.Team, m.Version)
+	return nil
+}
+
+// Scout returns the currently-served Scout (nil before Reload).
+func (s *Server) Scout() *core.Scout {
+	if m := s.current.Load(); m != nil {
+		return m.scout
+	}
+	return nil
+}
+
+// Handler returns the REST mux:
+//
+//	GET  /v1/health  -> {"status":"ok","model_version":N}
+//	GET  /v1/model   -> model metadata
+//	POST /v1/reload  -> hot-swap to the latest stored model
+//	POST /v1/predict -> PredictRequest -> PredictResponse
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	return mux
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logger.Printf("serving: encoding response: %v", err)
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	m := s.current.Load()
+	if m == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no model loaded"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "model_version": m.version})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	m := s.current.Load()
+	if m == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no model loaded"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"team":          m.scout.Team(),
+		"model_version": m.version,
+		"features":      len(m.scout.FeatureNames()),
+		"top_features":  m.scout.TopFeatures(5),
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Reload(); err != nil {
+		s.writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	}
+	s.handleHealth(w, nil)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	m := s.current.Load()
+	if m == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no model loaded"})
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+		return
+	}
+	if req.Title == "" && req.Body == "" {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "title or body required"})
+		return
+	}
+	p := m.scout.Predict(req.Title, req.Body, req.Components, req.Time)
+	s.writeJSON(w, http.StatusOK, PredictResponse{
+		Team:           m.scout.Team(),
+		Verdict:        string(p.Verdict),
+		Responsible:    p.Responsible,
+		Confidence:     p.Confidence,
+		Model:          p.Model,
+		Components:     p.Components,
+		Explanation:    p.Explanation,
+		Recommendation: recommendation(m.scout.Team(), p),
+		ModelVersion:   m.version,
+	})
+}
+
+// recommendation renders the §8 operator-facing fine print.
+func recommendation(team string, p core.Prediction) string {
+	if !p.Usable() {
+		return "The Scout could not extract components; use the existing routing process."
+	}
+	verb := "suggests this IS"
+	if !p.Responsible {
+		verb = "suggests this is NOT"
+	}
+	return fmt.Sprintf("The %s Scout investigated %d component(s) and %s a %s incident. "+
+		"Its confidence is %.2f. We recommend not using this output if confidence is below 0.80. "+
+		"Attention: known false negatives occur for transient issues, when an incident is created "+
+		"after the problem has already been resolved, and if the incident is too broad in scope.",
+		team, len(p.Components), verb, team, p.Confidence)
+}
+
+// PredictIncident lets the serving model be used as an evaluate.Predictor.
+func (s *Server) PredictIncident(in *incident.Incident) core.Prediction {
+	m := s.current.Load()
+	if m == nil {
+		return core.Prediction{Verdict: core.VerdictFallback, Model: "none"}
+	}
+	return m.scout.PredictIncident(in)
+}

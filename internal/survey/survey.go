@@ -1,0 +1,198 @@
+// Package survey encodes the operator survey of Appendix A. The paper
+// surveyed 27 practicing network operators about incident routing; Table 3
+// reports the characteristics of their networks and the prose reports the
+// aggregate answers. The individual responses are reconstructed here so
+// the table and the quoted aggregates regenerate from data.
+package survey
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Band is a categorical answer range.
+type Band string
+
+// Team-count bands of Table 3.
+const (
+	Teams1to10     Band = "1-10"
+	Teams10to20    Band = "10-20"
+	Teams20to100   Band = "20-100"
+	Teams100to1000 Band = "100-1000"
+	TeamsOver1000  Band = ">1000"
+	BandUnknown    Band = "n/a"
+)
+
+// User-count bands of Table 3.
+const (
+	UsersUnder1k   Band = "<1k"
+	Users1kTo10k   Band = "1k-10k"
+	Users10kTo100k Band = "10k-100k"
+	Users100kTo1m  Band = "100k-1m"
+	UsersOver1m    Band = ">1m"
+)
+
+// Response is one operator's survey answers.
+type Response struct {
+	// Kind of network operated (ISP, enterprise, DC, CDN, security, all).
+	Kind string
+	// Teams is the number-of-teams band.
+	Teams Band
+	// Users is the user-base band.
+	Users Band
+	// Impact is the 1–5 score for how much incident routing impacts the
+	// organization.
+	Impact int
+	// BlamedOver60 is true when the operator reported their network was
+	// incorrectly blamed for over 60% of incidents.
+	BlamedOver60 bool
+	// OthersUnder20 is true when the operator said other components are
+	// blamed for networking issues less than 20% of the time.
+	OthersUnder20 bool
+	// TypicalTeams is the number of teams typically involved in an
+	// investigation.
+	TypicalTeams int
+}
+
+// Responses returns the 27 reconstructed survey responses. The individual
+// rows are synthetic, but every aggregate the paper reports holds exactly:
+// kinds (9 ISP, 10 enterprise, 5 DC, 1 CDN, 1 security, 1 all), Table 3
+// band counts, 23 respondents scoring impact >= 3 of which 17 >= 4,
+// 17 blamed >60%, 20 saying others are blamed <20%, 14 with >3 teams per
+// investigation and 19 with >= 2.
+func Responses() []Response {
+	kinds := append(append(append(append(append(
+		repeat("ISP", 9), repeat("enterprise", 10)...), repeat("datacenter", 5)...),
+		"CDN"), "security"), "all")
+	teams := bands(map[Band]int{
+		Teams1to10: 14, Teams10to20: 1, Teams20to100: 8, Teams100to1000: 1,
+		TeamsOver1000: 1, BandUnknown: 2,
+	})
+	users := bands(map[Band]int{
+		UsersUnder1k: 4, Users1kTo10k: 5, Users10kTo100k: 11, Users100kTo1m: 3, UsersOver1m: 4,
+	})
+	// 17 respondents score >= 4 (9 fives, 8 fours), 6 score exactly 3,
+	// 4 score lower.
+	impact := append(append(append(append(
+		repeatInt(5, 9), repeatInt(4, 8)...), repeatInt(3, 6)...), repeatInt(2, 2)...), repeatInt(1, 2)...)
+	blamed := repeatBool(true, 17, 27)
+	others := repeatBool(true, 20, 27)
+	// 14 respondents: > 3 teams; 5 more: 2–3 teams (>= 2 total 19); 8: 1.
+	teamsInvolved := append(append(repeatInt(4, 14), repeatInt(2, 5)...), repeatInt(1, 8)...)
+
+	out := make([]Response, 27)
+	for i := range out {
+		out[i] = Response{
+			Kind:          kinds[i],
+			Teams:         teams[i],
+			Users:         users[i],
+			Impact:        impact[i],
+			BlamedOver60:  blamed[i],
+			OthersUnder20: others[i],
+			TypicalTeams:  teamsInvolved[i],
+		}
+	}
+	return out
+}
+
+func repeat(s string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}
+
+func repeatInt(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func repeatBool(v bool, n, total int) []bool {
+	out := make([]bool, total)
+	for i := 0; i < n; i++ {
+		out[i] = v
+	}
+	return out
+}
+
+func bands(counts map[Band]int) []Band {
+	var keys []Band
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []Band
+	for _, k := range keys {
+		for i := 0; i < counts[k]; i++ {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Aggregates summarizes the responses into the numbers the paper quotes.
+type Aggregates struct {
+	Total          int
+	TeamBands      map[Band]int
+	UserBands      map[Band]int
+	ImpactAtLeast3 int
+	ImpactAtLeast4 int
+	BlamedOver60   int
+	OthersUnder20  int
+	MoreThan3Teams int
+	AtLeast2Teams  int
+	KindCounts     map[string]int
+}
+
+// Aggregate tabulates the responses.
+func Aggregate(rs []Response) Aggregates {
+	a := Aggregates{
+		Total:      len(rs),
+		TeamBands:  map[Band]int{},
+		UserBands:  map[Band]int{},
+		KindCounts: map[string]int{},
+	}
+	for _, r := range rs {
+		a.TeamBands[r.Teams]++
+		a.UserBands[r.Users]++
+		a.KindCounts[r.Kind]++
+		if r.Impact >= 3 {
+			a.ImpactAtLeast3++
+		}
+		if r.Impact >= 4 {
+			a.ImpactAtLeast4++
+		}
+		if r.BlamedOver60 {
+			a.BlamedOver60++
+		}
+		if r.OthersUnder20 {
+			a.OthersUnder20++
+		}
+		if r.TypicalTeams > 3 {
+			a.MoreThan3Teams++
+		}
+		if r.TypicalTeams >= 2 {
+			a.AtLeast2Teams++
+		}
+	}
+	return a
+}
+
+// Table3 renders the two header rows of Table 3.
+func Table3(a Aggregates) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# of Teams   | 1-10 | 10-20 | 20-100 | 100-1000 | >1000\n")
+	fmt.Fprintf(&b, "Respondents  | %4d | %5d | %6d | %8d | %5d\n",
+		a.TeamBands[Teams1to10], a.TeamBands[Teams10to20], a.TeamBands[Teams20to100],
+		a.TeamBands[Teams100to1000], a.TeamBands[TeamsOver1000])
+	fmt.Fprintf(&b, "# of Users   | <1k  | 1k-10k | 10k-100k | 100k-1m | >1m\n")
+	fmt.Fprintf(&b, "Respondents  | %4d | %6d | %8d | %7d | %3d\n",
+		a.UserBands[UsersUnder1k], a.UserBands[Users1kTo10k], a.UserBands[Users10kTo100k],
+		a.UserBands[Users100kTo1m], a.UserBands[UsersOver1m])
+	return b.String()
+}

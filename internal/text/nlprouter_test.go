@@ -1,0 +1,123 @@
+package text
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// corpus builds a synthetic ticket corpus with team-specific vocabulary and
+// shared boilerplate.
+func corpus(n int, rng *rand.Rand) (docs []string, teams []string) {
+	vocab := map[string][]string{
+		"PhyNet":  {"switch", "packet", "loss", "tor", "link", "bgp"},
+		"Storage": {"disk", "virtual", "mount", "blob", "iops"},
+		"SLB":     {"vip", "loadbalancer", "probe", "nat", "mapping"},
+	}
+	teamNames := []string{"PhyNet", "Storage", "SLB"}
+	for i := 0; i < n; i++ {
+		team := teamNames[rng.Intn(len(teamNames))]
+		words := vocab[team]
+		doc := "incident reported customers impacted"
+		for k := 0; k < 4; k++ {
+			doc += " " + words[rng.Intn(len(words))]
+		}
+		docs = append(docs, doc)
+		teams = append(teams, team)
+	}
+	return docs, teams
+}
+
+func TestNLPRouterLearnsVocabulary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	docs, teams := corpus(600, rng)
+	r, err := TrainNLPRouter(docs, teams, VocabOptions{MinDocFreq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testDocs, testTeams := corpus(300, rng)
+	correct := 0
+	for i := range testDocs {
+		top, _ := r.Route(testDocs[i])
+		if top == testTeams[i] {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(testDocs)); frac < 0.9 {
+		t.Fatalf("NLP router accuracy %v too low", frac)
+	}
+}
+
+func TestNLPRouterRankIsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	docs, teams := corpus(200, rng)
+	r, err := TrainNLPRouter(docs, teams, VocabOptions{MinDocFreq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, _ := r.Rank("switch link loss")
+	var sum float64
+	for i, ts := range ranked {
+		sum += ts.Score
+		if i > 0 && ts.Score > ranked[i-1].Score {
+			t.Fatal("ranking not sorted")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("posterior sums to %v", sum)
+	}
+	if ranked[0].Team != "PhyNet" {
+		t.Fatalf("obvious PhyNet text routed to %v", ranked[0].Team)
+	}
+}
+
+func TestNLPRouterConfidenceBands(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	docs, teams := corpus(600, rng)
+	r, err := TrainNLPRouter(docs, teams, VocabOptions{MinDocFreq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strongly team-specific text should be confident; vague text should
+	// not be High.
+	_, strong := r.Rank("switch tor link packet loss bgp switch link")
+	if strong == Low {
+		t.Fatalf("strong PhyNet text got %v confidence", strong)
+	}
+	_, vague := r.Rank("incident reported customers impacted")
+	if vague == High {
+		t.Fatal("pure boilerplate should not be High confidence")
+	}
+}
+
+func TestNLPRouterErrors(t *testing.T) {
+	if _, err := TrainNLPRouter(nil, nil, VocabOptions{}); err != ErrNoTrainingData {
+		t.Fatalf("want ErrNoTrainingData, got %v", err)
+	}
+	if _, err := TrainNLPRouter([]string{"a"}, []string{"t1", "t2"}, VocabOptions{}); err != ErrNoTrainingData {
+		t.Fatalf("mismatched lengths should error, got %v", err)
+	}
+}
+
+func TestNLPRouterUnknownWordsFallBackToPrior(t *testing.T) {
+	docs := []string{"disk failure storage", "disk mount error", "switch loss", "packet drop switch", "switch flap", "switch down"}
+	teams := []string{"Storage", "Storage", "PhyNet", "PhyNet", "PhyNet", "PhyNet"}
+	r, err := TrainNLPRouter(docs, teams, VocabOptions{MinDocFreq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, _ := r.Rank("zzz qqq completely-novel-text")
+	// With no known words, the prior should dominate: PhyNet has 4/6 docs.
+	if ranked[0].Team != "PhyNet" {
+		t.Fatalf("prior should win on unknown text, got %v", ranked[0].Team)
+	}
+}
+
+func TestConfidenceBandString(t *testing.T) {
+	for b, want := range map[ConfidenceBand]string{Low: "low", Medium: "medium", High: "high"} {
+		if got := fmt.Sprint(b); got != want {
+			t.Errorf("band %d prints %q want %q", b, got, want)
+		}
+	}
+}

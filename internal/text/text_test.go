@@ -1,0 +1,123 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	got := Tokenize("The VM vm3.c10.dc2 is unable to connect to storage!")
+	want := []string{"vm", "vm3.c10.dc2", "unable", "connect", "storage"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeKeepsIdentifiers(t *testing.T) {
+	got := Tokenize("switch tor-2.c4.dc1 rebooted")
+	if len(got) != 3 || got[1] != "tor-2.c4.dc1" {
+		t.Fatalf("identifier mangled: %v", got)
+	}
+}
+
+func TestTokenizeTrimsPunctuation(t *testing.T) {
+	got := Tokenize("latency spiked... badly.")
+	want := []string{"latency", "spiked", "badly"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTokenizeEmptyAndStopwords(t *testing.T) {
+	if got := Tokenize("the a an is to"); len(got) != 0 {
+		t.Fatalf("stopwords leaked: %v", got)
+	}
+	if got := Tokenize(""); len(got) != 0 {
+		t.Fatalf("empty input: %v", got)
+	}
+}
+
+func TestBuildVocabularyMinDocFreq(t *testing.T) {
+	docs := [][]string{
+		{"latency", "spike"},
+		{"latency", "drop"},
+		{"reboot"},
+	}
+	v := BuildVocabulary(docs, VocabOptions{MinDocFreq: 2})
+	if v.Size() != 1 || v.Words[0] != "latency" {
+		t.Fatalf("vocab: %v", v.Words)
+	}
+	if v.NumDocs != 3 || v.DocFreq[0] != 2 {
+		t.Fatalf("df bookkeeping wrong: %+v", v)
+	}
+}
+
+func TestBuildVocabularyMaxWords(t *testing.T) {
+	docs := [][]string{
+		{"aa", "bb", "cc"},
+		{"aa", "bb", "cc"},
+		{"aa", "bb"},
+		{"aa"},
+	}
+	v := BuildVocabulary(docs, VocabOptions{MinDocFreq: 1, MaxWords: 2})
+	if v.Size() != 2 {
+		t.Fatalf("size %d", v.Size())
+	}
+	// Highest document frequency first.
+	if v.Words[0] != "aa" || v.Words[1] != "bb" {
+		t.Fatalf("order: %v", v.Words)
+	}
+}
+
+func TestCountsAndTFIDF(t *testing.T) {
+	docs := [][]string{{"x", "x", "y"}, {"y", "z"}, {"z"}, {"z", "x"}}
+	v := BuildVocabulary(docs, VocabOptions{MinDocFreq: 1})
+	c := v.Counts([]string{"x", "x", "unknown"})
+	xi := v.Index["x"]
+	if c[xi] != 2 {
+		t.Fatalf("count of x = %v", c[xi])
+	}
+	tf := v.TFIDF([]string{"x", "z"})
+	var norm float64
+	for _, val := range tf {
+		norm += val * val
+	}
+	if norm < 0.999 || norm > 1.001 {
+		t.Fatalf("TF-IDF not L2-normalized: %v", norm)
+	}
+	if v.TFIDF(nil)[0] != 0 {
+		t.Fatal("empty doc should give zero vector")
+	}
+}
+
+func TestImportantWordsFindDiscriminative(t *testing.T) {
+	var docs [][]string
+	var labels []bool
+	for i := 0; i < 30; i++ {
+		docs = append(docs, []string{"packetloss", "switch", "common"})
+		labels = append(labels, true)
+		docs = append(docs, []string{"disk", "database", "common"})
+		labels = append(labels, false)
+	}
+	v := BuildVocabulary(docs, VocabOptions{MinDocFreq: 1})
+	top := ImportantWords(docs, labels, v, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	for _, w := range top {
+		if w == "common" {
+			t.Fatalf("non-discriminative word ranked top: %v", top)
+		}
+	}
+}
+
+func TestWordCounter(t *testing.T) {
+	wc := NewWordCounter([]string{"alpha", "beta"})
+	x := wc.Featurize([]string{"alpha", "alpha", "gamma"})
+	if x[0] != 2 || x[1] != 0 {
+		t.Fatalf("features: %v", x)
+	}
+	if len(wc.Names()) != 2 {
+		t.Fatal("names wrong")
+	}
+}

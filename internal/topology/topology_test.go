@@ -1,0 +1,140 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func build(t *testing.T) *Topology {
+	t.Helper()
+	return Build(Params{DCs: 2, ClustersPerDC: 2, ToRsPerCluster: 2, AggsPerCluster: 1, ServersPerToR: 2, VMsPerServer: 2})
+}
+
+func TestBuildCounts(t *testing.T) {
+	topo := build(t)
+	if got := len(topo.Names(TypeDC)); got != 2 {
+		t.Fatalf("DCs = %d", got)
+	}
+	if got := len(topo.Names(TypeCluster)); got != 4 {
+		t.Fatalf("clusters = %d", got)
+	}
+	// 2 ToRs + 1 agg per cluster.
+	if got := len(topo.Names(TypeSwitch)); got != 12 {
+		t.Fatalf("switches = %d", got)
+	}
+	if got := len(topo.Names(TypeServer)); got != 16 {
+		t.Fatalf("servers = %d", got)
+	}
+	if got := len(topo.Names(TypeVM)); got != 32 {
+		t.Fatalf("VMs = %d", got)
+	}
+	if topo.Len() != 2+4+12+16+32 {
+		t.Fatalf("total = %d", topo.Len())
+	}
+}
+
+func TestNamingScheme(t *testing.T) {
+	topo := build(t)
+	c, ok := topo.Lookup("vm1.c1.dc1")
+	if !ok || c.Type != TypeVM {
+		t.Fatalf("vm1.c1.dc1 missing: %+v", c)
+	}
+	if !strings.HasPrefix(c.Parent, "srv") {
+		t.Fatalf("VM parent should be a server, got %q", c.Parent)
+	}
+	if _, ok := topo.Lookup("tor2.c2.dc2"); !ok {
+		t.Fatal("tor2.c2.dc2 missing")
+	}
+	if _, ok := topo.Lookup("agg1.c1.dc1"); !ok {
+		t.Fatal("agg1.c1.dc1 missing")
+	}
+}
+
+func TestHierarchyWalks(t *testing.T) {
+	topo := build(t)
+	srv := topo.ServerOfVM("vm1.c1.dc1")
+	if srv == "" {
+		t.Fatal("no server for vm1.c1.dc1")
+	}
+	tor := topo.ToROfServer(srv)
+	if !strings.HasPrefix(tor, "tor") {
+		t.Fatalf("server parent %q not a ToR", tor)
+	}
+	if got := topo.ClusterOf("vm1.c1.dc1"); got != "c1.dc1" {
+		t.Fatalf("ClusterOf = %q", got)
+	}
+	if got := topo.ClusterOf("dc1"); got != "" {
+		t.Fatalf("ClusterOf(dc) = %q", got)
+	}
+	anc := topo.Ancestors("vm1.c1.dc1")
+	// server, tor, cluster, dc
+	if len(anc) != 4 || anc[len(anc)-1] != "dc1" {
+		t.Fatalf("ancestors = %v", anc)
+	}
+}
+
+func TestExpandIncludesDependencies(t *testing.T) {
+	topo := build(t)
+	if err := topo.AddDependency("vm1.c1.dc1", "c2.dc2"); err != nil {
+		t.Fatal(err)
+	}
+	exp := topo.Expand("vm1.c1.dc1")
+	want := map[string]bool{"vm1.c1.dc1": true, "c2.dc2": true, "dc2": true, "c1.dc1": true, "dc1": true}
+	got := map[string]bool{}
+	for _, n := range exp {
+		got[n] = true
+	}
+	for n := range want {
+		if !got[n] {
+			t.Fatalf("Expand missing %q: %v", n, exp)
+		}
+	}
+	// No duplicates.
+	if len(got) != len(exp) {
+		t.Fatalf("Expand returned duplicates: %v", exp)
+	}
+}
+
+func TestExpandUnknown(t *testing.T) {
+	topo := build(t)
+	if exp := topo.Expand("nonexistent"); exp != nil {
+		t.Fatalf("unknown component should expand to nil, got %v", exp)
+	}
+}
+
+func TestAddDependencyValidation(t *testing.T) {
+	topo := build(t)
+	if err := topo.AddDependency("nope", "dc1"); err == nil {
+		t.Fatal("unknown source should error")
+	}
+	if err := topo.AddDependency("dc1", "nope"); err == nil {
+		t.Fatal("unknown target should error")
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	topo := build(t)
+	servers := topo.DescendantsOfType("c1.dc1", TypeServer)
+	if len(servers) != 4 {
+		t.Fatalf("servers under c1.dc1 = %d", len(servers))
+	}
+	switches := topo.DescendantsOfType("c1.dc1", TypeSwitch)
+	if len(switches) != 3 {
+		t.Fatalf("switches under c1.dc1 = %d", len(switches))
+	}
+	all := topo.Descendants("dc1")
+	// dc1 has 2 clusters * (3 switches + 4 servers + 8 VMs) + 2 clusters.
+	if len(all) != 2+2*(3+4+8) {
+		t.Fatalf("descendants of dc1 = %d", len(all))
+	}
+}
+
+func TestChildrenSorted(t *testing.T) {
+	topo := build(t)
+	ch := topo.Children("c1.dc1")
+	for i := 1; i < len(ch); i++ {
+		if ch[i] < ch[i-1] {
+			t.Fatalf("children unsorted: %v", ch)
+		}
+	}
+}
