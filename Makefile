@@ -1,0 +1,35 @@
+# Standard entry points; `make ci` is what a pre-merge check should run.
+# The race detector matters here: the training/evaluation layer fans work
+# out across goroutines (internal/parallel) and the serving layer hot-swaps
+# models under live traffic.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector. Slower (the detector costs ~5-10x),
+# but it is the only gate that exercises the concurrent feature cache,
+# parallel forest training and the serving hot-swap path for real races.
+race:
+	$(GO) test -race ./...
+
+# Worker-count sweeps: compare ns/op between workers=1 and workers=4+ for
+# the parallel-layer speedup (single-core machines will show parity).
+bench:
+	$(GO) test -bench 'Workers' -benchtime 1x -run '^$$'
+
+ci: vet build race
+
+clean:
+	$(GO) clean ./...

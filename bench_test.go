@@ -7,10 +7,13 @@
 package scouts_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
+	"scouts/internal/evaluate"
 	"scouts/internal/experiments"
+	"scouts/internal/ml/forest"
 )
 
 var (
@@ -265,5 +268,41 @@ func BenchmarkLatencyDistribution(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		logOnce(b, i, experiments.InferenceLatency(l, 100))
+	}
+}
+
+// BenchmarkForestTrainWorkers sweeps the worker count over forest training
+// on the lab's cached training matrix. Output is bit-identical at every
+// setting (see DESIGN.md, "Parallel execution layer"); compare ns/op across
+// the sub-benchmarks for the speedup. On a multi-core machine workers=4
+// should come in well under workers=1; on a single-core container the
+// sweep degenerates to equal timings.
+func BenchmarkForestTrainWorkers(b *testing.B) {
+	l := lab(b)
+	train := l.TrainSet()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := l.DefaultForest(l.Params.Seed)
+			p.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, err := forest.Train(train, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateRunWorkers sweeps the worker count over the §7
+// gain/overhead evaluation (prediction fan-out dominates).
+func BenchmarkEvaluateRunWorkers(b *testing.B) {
+	l := lab(b)
+	baseline := evaluate.OverheadDistribution(l.Train, experiments.Team)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				evaluate.RunWorkers(l.Scout, l.Test, experiments.Team, baseline, l.RNG(7), w)
+			}
+		})
 	}
 }

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	repro -exp list
-//	repro -exp all [-days 180] [-rate 12] [-seed 20200810]
+//	repro -exp all [-days 180] [-rate 12] [-seed 20200810] [-workers 0]
 //	repro -exp table1,fig7,fig15
 //
 // Experiment IDs: table1 table2 table3 table4 table5 headline latency
@@ -113,6 +113,7 @@ func main() {
 	days := flag.Int("days", 180, "trace length in days")
 	rate := flag.Float64("rate", 12, "mean incidents per day")
 	seed := flag.Int64("seed", 20200810, "world seed")
+	workers := flag.Int("workers", 0, "training/evaluation workers (0 = GOMAXPROCS); results are identical at any setting")
 	flag.Parse()
 
 	cat := catalogue()
@@ -148,7 +149,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "repro: building lab (days=%d rate=%.0f seed=%d)...\n", *days, *rate, *seed)
 	start := time.Now()
-	lab, err := experiments.NewLab(experiments.LabParams{Seed: *seed, Days: *days, IncidentsPerDay: *rate})
+	lab, err := experiments.NewLab(experiments.LabParams{Seed: *seed, Days: *days, IncidentsPerDay: *rate, Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)

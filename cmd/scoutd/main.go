@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	scoutd [-addr :8080] [-seed 7] [-days 90] [-rate 10]
+//	scoutd [-addr :8080] [-seed 7] [-days 90] [-rate 10] [-workers 0]
 //
 // Endpoints:
 //
@@ -11,14 +11,22 @@
 //	GET  /v1/model
 //	POST /v1/reload
 //	POST /v1/predict   {"title": ..., "body": ..., "components": [...], "time": h}
+//
+// The server is configured for exposure to untrusted clients (header and
+// idle timeouts bound slow-client resource usage) and drains gracefully on
+// SIGINT/SIGTERM so in-flight predictions complete before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"scouts/internal/cloudsim"
@@ -31,15 +39,16 @@ func main() {
 	seed := flag.Int64("seed", 7, "world seed")
 	days := flag.Int("days", 90, "days of synthetic incident history to train on")
 	rate := flag.Float64("rate", 10, "incidents per day")
+	workers := flag.Int("workers", 0, "training/featurization workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "scoutd: ", log.LstdFlags)
-	if err := run(*addr, *seed, *days, *rate, logger); err != nil {
+	if err := run(*addr, *seed, *days, *rate, *workers, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
 
-func run(addr string, seed int64, days int, rate float64, logger *log.Logger) error {
+func run(addr string, seed int64, days int, rate float64, workers int, logger *log.Logger) error {
 	logger.Printf("generating %d days of synthetic cloud history (seed %d)", days, seed)
 	gen := cloudsim.New(cloudsim.Params{Seed: seed, Days: days, IncidentsPerDay: rate})
 	trace := gen.Generate()
@@ -59,6 +68,7 @@ func run(addr string, seed int64, days int, rate float64, logger *log.Logger) er
 		Source:    gen.Telemetry(),
 		Incidents: trace.Incidents,
 		Seed:      seed,
+		Workers:   workers,
 	})
 	if err != nil {
 		return fmt.Errorf("training: %w", err)
@@ -70,6 +80,44 @@ func run(addr string, seed int64, days int, rate float64, logger *log.Logger) er
 	if err := srv.Reload(); err != nil {
 		return err
 	}
-	logger.Printf("serving on %s", addr)
-	return http.ListenAndServe(addr, srv.Handler())
+
+	// A bare http.ListenAndServe has no header timeout (one slow-writing
+	// client per connection holds a goroutine forever — slowloris) and no
+	// way to drain on shutdown. Configure the server explicitly and tie
+	// its lifetime to SIGINT/SIGTERM.
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          logger,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("serving on %s", addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("signal received; draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("drained; bye")
+	return nil
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	simulate [-days 90] [-rate 12] [-seed 1] [-o trace.jsonl] [-stats]
+//	simulate [-days 90] [-rate 12] [-seed 1] [-o trace.jsonl] [-stats] [-workers 0]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"scouts/internal/cloudsim"
 	"scouts/internal/incident"
@@ -25,7 +26,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	out := flag.String("o", "-", "output file (- for stdout)")
 	stats := flag.Bool("stats", false, "print §3-style summary statistics to stderr")
+	workers := flag.Int("workers", 0, "cap OS-level parallelism (0 = all cores); generation itself is single-threaded and seed-deterministic")
 	flag.Parse()
+
+	// Generation replays one rng stream, so it cannot be parallelized
+	// without changing the trace; -workers only bounds GOMAXPROCS (GC,
+	// JSON encoding) for parity with the other commands' flag.
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	if err := run(*days, *rate, *seed, *out, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)

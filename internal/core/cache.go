@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"hash/maphash"
+	"sync"
+)
 
 // FeatureCache memoizes per-incident extraction results, feature vectors
 // and CPD+ vectors across retraining rounds. The retraining experiments
@@ -9,13 +12,29 @@ import "sync"
 // it is a pure function of (incident, configuration, data source), so it
 // is safe to reuse as long as those stay fixed.
 //
-// A FeatureCache must only ever be used with one (Config, Topology,
-// DataSource) combination; mixing layouts corrupts results.
+// The cache is safe for concurrent use: it is sharded by incident ID so
+// parallel featurization workers do not serialize on a single lock, and
+// its accessors exchange entry *values*, never pointers into the shard
+// maps — all mutation goes through the locked setters. A FeatureCache must
+// only ever be used with one (Config, Topology, DataSource) combination;
+// mixing layouts corrupts results.
 type FeatureCache struct {
-	mu sync.Mutex
+	shards [cacheShards]cacheShard
+}
+
+// cacheShards is a power of two comfortably above typical worker counts so
+// shard collisions under parallel featurization stay rare.
+const cacheShards = 32
+
+var cacheHashSeed = maphash.MakeSeed()
+
+type cacheShard struct {
+	mu sync.RWMutex
 	m  map[string]*cacheEntry
 }
 
+// cacheEntry is handled by value outside this file; the slices and the
+// Extraction map it carries are treated as immutable once stored.
 type cacheEntry struct {
 	ex   Extraction
 	x    []float64
@@ -24,7 +43,15 @@ type cacheEntry struct {
 
 // NewFeatureCache creates an empty cache.
 func NewFeatureCache() *FeatureCache {
-	return &FeatureCache{m: map[string]*cacheEntry{}}
+	c := &FeatureCache{}
+	for i := range c.shards {
+		c.shards[i].m = map[string]*cacheEntry{}
+	}
+	return c
+}
+
+func (c *FeatureCache) shard(id string) *cacheShard {
+	return &c.shards[maphash.String(cacheHashSeed, id)&(cacheShards-1)]
 }
 
 // Len returns the number of cached incidents.
@@ -32,37 +59,66 @@ func (c *FeatureCache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
-}
-
-func (c *FeatureCache) get(id string) (*cacheEntry, bool) {
-	if c == nil {
-		return nil, false
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.m[id]
-	return e, ok
+	return n
 }
 
-func (c *FeatureCache) put(id string, e *cacheEntry) {
+// get returns a snapshot of the entry for id. The returned value shares
+// its slices with the cache, so callers must not modify them — new state
+// is published only through put and setCPD.
+func (c *FeatureCache) get(id string) (cacheEntry, bool) {
+	if c == nil {
+		return cacheEntry{}, false
+	}
+	s := c.shard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.m[id]; ok {
+		return *e, true
+	}
+	return cacheEntry{}, false
+}
+
+// put stores an entry for id. The first writer wins when two workers
+// featurize the same incident concurrently: featurization is deterministic,
+// so both candidates are identical and keeping the incumbent preserves any
+// CPD+ vector another goroutine already attached to it.
+func (c *FeatureCache) put(id string, e cacheEntry) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.m[id] = e
-}
-
-func (c *FeatureCache) setCPD(id string, vec []float64) {
-	if c == nil {
+	s := c.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.m[id]; exists {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.m[id]; ok {
+	stored := e
+	s.m[id] = &stored
+}
+
+// setCPD attaches a CPD+ vector to an existing entry and returns the
+// canonical vector: the first one stored wins, so concurrent computers of
+// the same (deterministic) vector converge on one slice.
+func (c *FeatureCache) setCPD(id string, vec []float64) []float64 {
+	if c == nil {
+		return vec
+	}
+	s := c.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[id]
+	if !ok {
+		return vec
+	}
+	if e.cpdX == nil {
 		e.cpdX = vec
 	}
+	return e.cpdX
 }

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"scouts/internal/cloudsim"
+)
+
+func TestFeatureCacheNilSafe(t *testing.T) {
+	var c *FeatureCache
+	if _, ok := c.get("x"); ok {
+		t.Fatal("nil cache should miss")
+	}
+	c.put("x", cacheEntry{x: []float64{1}})
+	vec := []float64{2}
+	if got := c.setCPD("x", vec); &got[0] != &vec[0] {
+		t.Fatal("nil cache setCPD should hand back the caller's vector")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache should be empty")
+	}
+}
+
+func TestFeatureCacheFirstWriterWins(t *testing.T) {
+	c := NewFeatureCache()
+	c.put("a", cacheEntry{x: []float64{1}})
+	c.setCPD("a", []float64{9})
+	// A second put of the same id (a concurrent featurizer losing the race)
+	// must not clobber the incumbent or its attached CPD+ vector.
+	c.put("a", cacheEntry{x: []float64{1}})
+	e, ok := c.get("a")
+	if !ok || e.cpdX == nil || e.cpdX[0] != 9 {
+		t.Fatalf("incumbent entry lost its CPD vector: %+v ok=%v", e, ok)
+	}
+	// setCPD is likewise first-write-wins and returns the canonical slice.
+	if got := c.setCPD("a", []float64{7}); got[0] != 9 {
+		t.Fatalf("setCPD overwrote the canonical vector: %v", got)
+	}
+}
+
+// TestFeatureCacheConcurrent hammers one cache from many goroutines with
+// overlapping ids; run under -race this is the regression test for the
+// unsynchronized map the cache used to be.
+func TestFeatureCacheConcurrent(t *testing.T) {
+	c := NewFeatureCache()
+	const (
+		goroutines = 16
+		ids        = 100
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ids; i++ {
+				id := fmt.Sprintf("incident-%d", i)
+				// The stored value is a pure function of the id, so every
+				// writer proposes the same entry — as in real featurization.
+				c.put(id, cacheEntry{x: []float64{float64(i)}})
+				if e, ok := c.get(id); ok && e.x[0] != float64(i) {
+					t.Errorf("id %s holds x=%v", id, e.x)
+					return
+				}
+				canon := c.setCPD(id, []float64{float64(i), float64(g)})
+				if canon[0] != float64(i) {
+					t.Errorf("id %s canonical cpd=%v", id, canon)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != ids {
+		t.Fatalf("cache holds %d entries, want %d", c.Len(), ids)
+	}
+	// All goroutines must have converged on one canonical CPD vector per id.
+	for i := 0; i < ids; i++ {
+		e, ok := c.get(fmt.Sprintf("incident-%d", i))
+		if !ok || e.cpdX == nil {
+			t.Fatalf("incident-%d missing cpd vector", i)
+		}
+	}
+}
+
+// TestPredictCachedConcurrent runs many concurrent PredictCached callers
+// over one shared cache (the serving/replay hot path) and checks every
+// parallel answer against a sequential baseline. Under -race this covers
+// the old bug where PredictCached wrote e.cpdX on a shared entry without
+// holding the cache lock.
+func TestPredictCachedConcurrent(t *testing.T) {
+	f := getFixture(t)
+	ins := f.test[:120]
+	cache := NewFeatureCache()
+	want := make([]Prediction, len(ins))
+	for i, in := range ins {
+		want[i] = f.scout.PredictCached(in, cache)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, in := range ins {
+				got := f.scout.PredictCached(in, cache)
+				if got.Verdict != want[i].Verdict || got.Responsible != want[i].Responsible ||
+					got.Confidence != want[i].Confidence {
+					t.Errorf("incident %s: concurrent %+v != sequential %+v", in.ID, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// A second cold cache must reproduce the same answers: caching is an
+	// optimization, never an input.
+	fresh := NewFeatureCache()
+	for i, in := range ins {
+		got := f.scout.PredictCached(in, fresh)
+		if got.Verdict != want[i].Verdict || got.Confidence != want[i].Confidence {
+			t.Fatalf("incident %s: cold-cache prediction differs", in.ID)
+		}
+	}
+}
+
+// TestTrainWorkersSnapshotIdentical is the tentpole determinism guarantee:
+// training with one worker and with eight must produce byte-identical
+// snapshots (seeds are pre-drawn in tree order, importances merged in tree
+// order, CPD+ examples selected sequentially).
+func TestTrainWorkersSnapshotIdentical(t *testing.T) {
+	gen := cloudsim.New(cloudsim.Params{Seed: 3, Days: 40, IncidentsPerDay: 8})
+	log := gen.Generate()
+	cfg, err := ParseConfig(DefaultPhyNetConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := func(workers int) []byte {
+		t.Helper()
+		s, err := Train(TrainOptions{
+			Config:    cfg,
+			Topology:  gen.Topology(),
+			Source:    gen.Telemetry(),
+			Incidents: log.Incidents,
+			Seed:      11,
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	seq := train(1)
+	par := train(8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("snapshots differ between workers=1 (%d bytes) and workers=8 (%d bytes)",
+			len(seq), len(par))
+	}
+}
+
+// TestEvaluateWorkersIdentical checks the evaluation fan-out: the confusion
+// matrix must not depend on the worker count.
+func TestEvaluateWorkersIdentical(t *testing.T) {
+	f := getFixture(t)
+	seq := f.scout.EvaluateWorkers(f.test, 1)
+	par := f.scout.EvaluateWorkers(f.test, 8)
+	if seq != par {
+		t.Fatalf("confusion differs: workers=1 %s vs workers=8 %s", seq.String(), par.String())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"scouts/internal/ml/forest"
 	"scouts/internal/ml/mlcore"
 	"scouts/internal/monitoring"
+	"scouts/internal/parallel"
 	"scouts/internal/topology"
 )
 
@@ -80,6 +81,10 @@ type TrainOptions struct {
 	// rounds. It must be dedicated to this (Config, Topology, Source)
 	// combination.
 	Cache *FeatureCache
+	// Workers bounds the goroutines used for per-incident featurization
+	// and tree growing; 0 selects runtime.GOMAXPROCS(0). Training output
+	// is bit-identical for every worker count.
+	Workers int
 }
 
 // Scout is a trained per-team gate-keeper.
@@ -117,6 +122,12 @@ func Train(opt TrainOptions) (*Scout, error) {
 	if opt.Forest.NumTrees == 0 {
 		opt.Forest = forest.Params{NumTrees: 100, MaxDepth: 14, Seed: opt.Seed}
 	}
+	if opt.Forest.Workers == 0 {
+		opt.Forest.Workers = opt.Workers
+	}
+	if opt.Selector.Forest.Workers == 0 {
+		opt.Selector.Forest.Workers = opt.Workers
+	}
 	if opt.MaxCPDExamples <= 0 {
 		opt.MaxCPDExamples = 200
 	}
@@ -129,28 +140,36 @@ func Train(opt TrainOptions) (*Scout, error) {
 	s.fb = NewFeatureBuilder(opt.Config, opt.Topology, opt.Source)
 
 	// Featurize the trainable incidents (those with extractable
-	// components; the rest use legacy routing, §7).
+	// components; the rest use legacy routing, §7) in parallel. Each
+	// incident's features are a pure function of (incident, config,
+	// source), so workers only need index-addressed slots; rows are then
+	// assembled sequentially in incident order, which keeps the dataset —
+	// and everything trained on it — bit-identical at any worker count.
 	type row struct {
 		in *incident.Incident
 		ex Extraction
 		x  []float64
 	}
-	var rows []row
-	for _, in := range opt.Incidents {
+	workers := parallel.Workers(opt.Workers)
+	entries := parallel.Map(workers, len(opt.Incidents), func(i int) cacheEntry {
+		in := opt.Incidents[i]
 		if e, ok := opt.Cache.get(in.ID); ok {
-			if e.ex.Excluded || e.ex.Empty {
-				continue
-			}
-			rows = append(rows, row{in: in, ex: e.ex, x: e.x})
-			continue
+			return e
 		}
 		ex := s.fb.Extract(in.Title, in.Body, in.Components)
-		entry := &cacheEntry{ex: ex}
+		entry := cacheEntry{ex: ex}
 		if !ex.Excluded && !ex.Empty {
 			entry.x = s.fb.Featurize(ex, in.CreatedAt)
-			rows = append(rows, row{in: in, ex: ex, x: entry.x})
 		}
 		opt.Cache.put(in.ID, entry)
+		return entry
+	})
+	var rows []row
+	for i, e := range entries {
+		if e.ex.Excluded || e.ex.Empty {
+			continue
+		}
+		rows = append(rows, row{in: opt.Incidents[i], ex: e.ex, x: e.x})
 	}
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("core: none of the %d incidents had extractable components", len(opt.Incidents))
@@ -222,23 +241,29 @@ func Train(opt TrainOptions) (*Scout, error) {
 	plusParams := cpd.PlusParams{
 		Datasets: s.fb.DatasetNames(),
 		Detector: opt.Detector,
-		Forest:   forest.Params{NumTrees: 40, MaxDepth: 8, Seed: opt.Seed + 2},
+		Forest:   forest.Params{NumTrees: 40, MaxDepth: 8, Seed: opt.Seed + 2, Workers: opt.Workers},
 	}
-	var cpdXs [][]float64
-	var cpdYs []bool
+	// The MaxCPDExamples cap is order-dependent, so pick the training rows
+	// sequentially, then run the expensive change-point featurization of
+	// the missing vectors in parallel (index-addressed, order preserved).
+	var cpdRows []row
 	for _, r := range rows {
-		if !r.ex.Broad || len(cpdXs) >= opt.MaxCPDExamples {
+		if !r.ex.Broad || len(cpdRows) >= opt.MaxCPDExamples {
 			continue
 		}
-		var vec []float64
+		cpdRows = append(cpdRows, r)
+	}
+	cpdXs := parallel.Map(workers, len(cpdRows), func(i int) []float64 {
+		r := cpdRows[i]
 		if e, ok := opt.Cache.get(r.in.ID); ok && e.cpdX != nil {
-			vec = e.cpdX
-		} else {
-			vec = plusParams.Featurize(s.fb.CPDInput(r.ex, r.in.CreatedAt))
-			opt.Cache.setCPD(r.in.ID, vec)
+			return e.cpdX
 		}
-		cpdXs = append(cpdXs, vec)
-		cpdYs = append(cpdYs, r.in.OwnerLabel == opt.Config.Team)
+		vec := plusParams.Featurize(s.fb.CPDInput(r.ex, r.in.CreatedAt))
+		return opt.Cache.setCPD(r.in.ID, vec)
+	})
+	cpdYs := make([]bool, len(cpdRows))
+	for i, r := range cpdRows {
+		cpdYs[i] = r.in.OwnerLabel == opt.Config.Team
 	}
 	plus, err := cpd.TrainPlusVectors(cpdXs, cpdYs, plusParams)
 	if err != nil {
@@ -328,7 +353,7 @@ func (s *Scout) PredictCached(in *incident.Incident, cache *FeatureCache) Predic
 	e, ok := cache.get(in.ID)
 	if !ok {
 		ex := s.fb.Extract(in.Title, in.Body, in.Components)
-		e = &cacheEntry{ex: ex}
+		e = cacheEntry{ex: ex}
 		if !ex.Excluded && !ex.Empty {
 			e.x = s.fb.Featurize(ex, in.CreatedAt)
 		}
@@ -346,12 +371,16 @@ func (s *Scout) PredictCached(in *incident.Incident, cache *FeatureCache) Predic
 		var conf float64
 		var why string
 		if e.ex.Broad {
-			if e.cpdX == nil {
-				vec := cpd.PlusParams{Datasets: s.fb.DatasetNames(), Detector: s.detector}.Featurize(s.fb.CPDInput(e.ex, in.CreatedAt))
-				cache.setCPD(in.ID, vec)
-				e.cpdX = vec
+			// The entry is a private snapshot: publish the vector only
+			// through the cache's locked setter (which keeps the first
+			// stored vector as canonical), never by writing the shared
+			// entry directly.
+			vec := e.cpdX
+			if vec == nil {
+				vec = cpd.PlusParams{Datasets: s.fb.DatasetNames(), Detector: s.detector}.Featurize(s.fb.CPDInput(e.ex, in.CreatedAt))
+				vec = cache.setCPD(in.ID, vec)
 			}
-			label, conf, why = s.cpdPlus.PredictVector(e.cpdX)
+			label, conf, why = s.cpdPlus.PredictVector(vec)
 		} else {
 			label, conf, why = s.cpdPlus.Predict(s.fb.CPDInput(e.ex, in.CreatedAt))
 		}
@@ -437,13 +466,23 @@ func (s *Scout) explainRF(x []float64, label bool) string {
 // accuracy metrics. Fallback verdicts are skipped, as in the paper's
 // evaluation.
 func (s *Scout) Evaluate(ins []*incident.Incident) metrics.Confusion {
+	return s.EvaluateWorkers(ins, 0)
+}
+
+// EvaluateWorkers is Evaluate with an explicit worker count (0 selects
+// runtime.GOMAXPROCS(0)). Predictions fan out in parallel — a trained
+// Scout is read-only at inference — and the confusion matrix is folded
+// sequentially in incident order.
+func (s *Scout) EvaluateWorkers(ins []*incident.Incident, workers int) metrics.Confusion {
+	preds := parallel.Map(workers, len(ins), func(i int) Prediction {
+		return s.PredictIncident(ins[i])
+	})
 	var c metrics.Confusion
-	for _, in := range ins {
-		p := s.PredictIncident(in)
+	for i, p := range preds {
 		if !p.Usable() {
 			continue
 		}
-		c.Add(p.Responsible, in.OwnerLabel == s.cfg.Team)
+		c.Add(p.Responsible, ins[i].OwnerLabel == s.cfg.Team)
 	}
 	return c
 }

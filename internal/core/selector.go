@@ -45,7 +45,7 @@ func (p SelectorParams) withDefaults() SelectorParams {
 		p.Threshold = 0.5
 	}
 	if p.Forest.NumTrees == 0 {
-		p.Forest = forest.Params{NumTrees: 60, MaxDepth: 8, Seed: p.Forest.Seed}
+		p.Forest = forest.Params{NumTrees: 60, MaxDepth: 8, Seed: p.Forest.Seed, Workers: p.Forest.Workers}
 	}
 	return p
 }

@@ -12,10 +12,14 @@ import (
 
 	"scouts/internal/core"
 	"scouts/internal/incident"
+	"scouts/internal/parallel"
 )
 
 // Predictor is anything that can answer for an incident; *core.Scout
 // implements it, and the Scout Master simulations use synthetic ones.
+// Run fans predictions out across goroutines, so implementations must be
+// safe for concurrent PredictIncident calls (a trained Scout is: it is
+// read-only at inference).
 type Predictor interface {
 	PredictIncident(in *incident.Incident) core.Prediction
 }
@@ -54,13 +58,23 @@ type Result struct {
 // Figure 6: for every incident the baseline mis-routed through the team,
 // the fraction of its total investigation time the team consumed.
 func OverheadDistribution(ins []*incident.Incident, team string) []float64 {
-	var out []float64
-	for _, in := range ins {
+	// Hop accounting per incident is independent; compute index-addressed
+	// in parallel and collect in incident order so the distribution (and
+	// everything sampled from it) is identical at any worker count.
+	fractions := parallel.Map(0, len(ins), func(i int) float64 {
+		in := ins[i]
 		if in.OwnerLabel == team || !in.WentThrough(team) {
-			continue
+			return -1
 		}
 		if tot := in.TotalTime(); tot > 0 {
-			out = append(out, in.TimeIn(team)/tot)
+			return in.TimeIn(team) / tot
+		}
+		return -1
+	})
+	var out []float64
+	for _, f := range fractions {
+		if f >= 0 {
+			out = append(out, f)
 		}
 	}
 	return out
@@ -68,13 +82,28 @@ func OverheadDistribution(ins []*incident.Incident, team string) []float64 {
 
 // Run evaluates a predictor over a test set for the given team. baseline
 // supplies the Figure 6 overhead distribution (normally the training
-// trace); rng drives overhead sampling for false positives.
+// trace); rng drives overhead sampling for false positives. Predictions
+// fan out over runtime.GOMAXPROCS(0) goroutines; see RunWorkers.
 func Run(p Predictor, test []*incident.Incident, team string, baseline []float64, rng *rand.Rand) Result {
+	return RunWorkers(p, test, team, baseline, rng, 0)
+}
+
+// RunWorkers is Run with an explicit worker count (0 selects
+// runtime.GOMAXPROCS(0)). The expensive phase — one prediction per
+// incident — runs in parallel into index-addressed slots; the scoring
+// phase then consumes them sequentially in incident order, so every rng
+// draw for false-positive overhead sampling happens in the same order as
+// a fully sequential run and the Result is bit-identical at any worker
+// count.
+func RunWorkers(p Predictor, test []*incident.Incident, team string, baseline []float64, rng *rand.Rand, workers int) Result {
+	preds := parallel.Map(workers, len(test), func(i int) core.Prediction {
+		return p.PredictIncident(test[i])
+	})
 	var r Result
 	var correctCorrect, totalCorrectRouted int
 	var fn, owned int
-	for _, in := range test {
-		pred := p.PredictIncident(in)
+	for i, in := range test {
+		pred := preds[i]
 		if !pred.Usable() {
 			r.Skipped++
 			continue

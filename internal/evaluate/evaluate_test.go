@@ -1,8 +1,10 @@
 package evaluate
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"scouts/internal/core"
@@ -145,6 +147,47 @@ func TestWastedAndTeamTimeAfter(t *testing.T) {
 	}
 	if got := TeamTimeAfter(in, team, 10); got != 0 {
 		t.Fatalf("TeamTimeAfter past end = %v", got)
+	}
+}
+
+// TestRunWorkersDeterministic pins the parallel fan-out contract: because
+// predictions fill an index-addressed slice and the scoring loop (including
+// the baseline-overhead rng draws) runs sequentially in incident order, the
+// result must be identical at every worker count.
+func TestRunWorkersDeterministic(t *testing.T) {
+	answers := map[string]bool{}
+	var ins []*incident.Incident
+	for i := 0; i < 60; i++ {
+		id := fmt.Sprintf("in-%d", i)
+		switch i % 3 {
+		case 0: // PhyNet-owned, mis-routed
+			ins = append(ins, mkIncident(id, team,
+				incident.Hop{Team: "Storage", Enter: 0, Exit: 2},
+				incident.Hop{Team: team, Enter: 2, Exit: 3}))
+			answers[id] = true
+		case 1: // other-owned, correctly rejected
+			ins = append(ins, mkIncident(id, "Storage",
+				incident.Hop{Team: team, Enter: 0, Exit: 1},
+				incident.Hop{Team: "Storage", Enter: 1, Exit: 3}))
+			answers[id] = false
+		default: // other-owned false positive: consumes one baseline rng draw
+			ins = append(ins, mkIncident(id, "DNS",
+				incident.Hop{Team: "DNS", Enter: 0, Exit: 2}))
+			answers[id] = true
+		}
+	}
+	baseline := []float64{0.1, 0.25, 0.4, 0.6}
+	p := fixedPredictor{answers: answers}
+	want := RunWorkers(p, ins, team, baseline, rand.New(rand.NewSource(42)), 1)
+	for _, w := range []int{0, 2, 8} {
+		got := RunWorkers(p, ins, team, baseline, rand.New(rand.NewSource(42)), w)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d result differs from workers=1:\n%+v\nvs\n%+v", w, got, want)
+		}
+	}
+	// And the legacy entry point is the same computation.
+	if seq := Run(p, ins, team, baseline, rand.New(rand.NewSource(42))); !reflect.DeepEqual(want, seq) {
+		t.Fatal("Run and RunWorkers disagree")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"scouts/internal/metrics"
 	"scouts/internal/ml/forest"
 	"scouts/internal/ml/mlcore"
+	"scouts/internal/parallel"
 )
 
 // F1Point is one (day, F1) sample of a retraining replay.
@@ -85,6 +86,7 @@ func Replay(lab *Lab, opt ReplayOptions) ([]F1Point, error) {
 					Incidents: train,
 					Seed:      lab.Params.Seed + int64(day),
 					Cache:     lab.Cache,
+					Workers:   lab.Params.Workers,
 				})
 				if err != nil {
 					return nil, err
@@ -104,16 +106,25 @@ func Replay(lab *Lab, opt ReplayOptions) ([]F1Point, error) {
 		if scout == nil {
 			continue
 		}
-		var c metrics.Confusion
+		// Score the evaluation chunk with a parallel prediction fan-out
+		// (PredictCached is race-safe over the shared lab cache) and a
+		// sequential fold in incident order.
+		var chunk []*incident.Incident
 		for _, in := range incidents {
 			if in.CreatedAt < float64(day)*24 || in.CreatedAt >= float64(day+opt.EvalChunkDays)*24 {
 				continue
 			}
-			p := scout.PredictCached(in, lab.Cache)
+			chunk = append(chunk, in)
+		}
+		preds := parallel.Map(lab.Params.Workers, len(chunk), func(i int) core.Prediction {
+			return scout.PredictCached(chunk[i], lab.Cache)
+		})
+		var c metrics.Confusion
+		for i, p := range preds {
 			if !p.Usable() {
 				continue
 			}
-			c.Add(p.Responsible, in.OwnerLabel == Team)
+			c.Add(p.Responsible, chunk[i].OwnerLabel == Team)
 		}
 		if c.Total() > 0 {
 			points = append(points, F1Point{Day: float64(day) + float64(opt.EvalChunkDays)/2, F1: c.F1()})
@@ -275,9 +286,12 @@ func Figure9(lab *Lab, maxRemoved, randomTrials int) (Figure9Result, error) {
 		if err != nil {
 			return 0, err
 		}
-		var c metrics.Confusion
-		for i := range lab.TestX {
+		preds := parallel.Map(lab.Params.Workers, len(lab.TestX), func(i int) bool {
 			pred, _ := f.Predict(mask(lab.TestX[i]))
+			return pred
+		})
+		var c metrics.Confusion
+		for i, pred := range preds {
 			c.Add(pred, lab.TestY[i])
 		}
 		return c.F1(), nil

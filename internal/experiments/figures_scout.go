@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"strings"
 
+	"scouts/internal/core"
 	"scouts/internal/evaluate"
 	"scouts/internal/incident"
 	"scouts/internal/metrics"
+	"scouts/internal/parallel"
 )
 
 // Figure7Result reproduces Figure 7: the Scout's gain and overhead on
@@ -30,7 +32,7 @@ func (f Figure7Result) String() string {
 // Figure7 runs the §7 gain/overhead evaluation.
 func Figure7(lab *Lab) Figure7Result {
 	baseline := evaluate.OverheadDistribution(lab.Train, Team)
-	r := evaluate.Run(lab.Scout, lab.Test, Team, baseline, lab.RNG(7))
+	r := evaluate.RunWorkers(lab.Scout, lab.Test, Team, baseline, lab.RNG(7), lab.Params.Workers)
 	return Figure7Result{
 		GainIn:           cdfSeries("gain-in", r.GainIn, 11),
 		BestGainIn:       cdfSeries("best possible gain-in", r.BestGainIn, 11),
@@ -67,7 +69,7 @@ func Figure11(lab *Lab) Figure11Result {
 		}
 	}
 	baseline := evaluate.OverheadDistribution(lab.Train, Team)
-	r := evaluate.Run(lab.Scout, subset, Team, baseline, lab.RNG(11))
+	r := evaluate.RunWorkers(lab.Scout, subset, Team, baseline, lab.RNG(11), lab.Params.Workers)
 	return Figure11Result{
 		GainIn:      cdfSeries("gain-in", r.GainIn, 11),
 		BestGainIn:  cdfSeries("best possible gain-in", r.BestGainIn, 11),
@@ -125,9 +127,16 @@ func Figure12(lab *Lab, maxN int) Figure12Result {
 	rng := lab.RNG(12)
 	var out Figure12Result
 	for n := 1; n <= maxN; n++ {
-		var gainIn, gainOut, overhead []float64
-		fn, owned := 0, 0
-		for _, in := range cris {
+		// Phase 1 (parallel): one Scout query per CRI — the expensive
+		// part. Phase 2 (sequential, incident order): accounting plus the
+		// overhead rng draws, which must happen in deterministic order so
+		// results match a sequential run at any worker count.
+		type cri struct {
+			trigger float64
+			pred    core.Prediction
+		}
+		queried := parallel.Map(lab.Params.Workers, len(cris), func(i int) cri {
+			in := cris[i]
 			trigger := evaluate.NthTeamExit(in, n)
 			// Information accrues: after the first team, the component
 			// names discovered during investigation are in the incident.
@@ -135,7 +144,12 @@ func Figure12(lab *Lab, maxN int) Figure12Result {
 			if n >= 1 {
 				mentioned = in.Components
 			}
-			p := lab.Scout.Predict(in.Title, in.Body, mentioned, trigger)
+			return cri{trigger: trigger, pred: lab.Scout.Predict(in.Title, in.Body, mentioned, trigger)}
+		})
+		var gainIn, gainOut, overhead []float64
+		fn, owned := 0, 0
+		for i, in := range cris {
+			trigger, p := queried[i].trigger, queried[i].pred
 			if !p.Usable() {
 				continue
 			}

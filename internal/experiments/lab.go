@@ -19,6 +19,7 @@ import (
 	"scouts/internal/metrics"
 	"scouts/internal/ml/forest"
 	"scouts/internal/ml/mlcore"
+	"scouts/internal/parallel"
 	"scouts/internal/text"
 )
 
@@ -31,6 +32,10 @@ type LabParams struct {
 	Days int
 	// IncidentsPerDay (default 12).
 	IncidentsPerDay float64
+	// Workers bounds the goroutines used by training, featurization and
+	// evaluation fan-out; 0 selects runtime.GOMAXPROCS(0). Every
+	// experiment is bit-identical at any worker count.
+	Workers int
 }
 
 func (p LabParams) withDefaults() LabParams {
@@ -114,6 +119,7 @@ func NewLab(p LabParams) (*Lab, error) {
 		Incidents: lab.Train,
 		Seed:      p.Seed + 2,
 		Cache:     lab.Cache,
+		Workers:   p.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -136,17 +142,30 @@ func NewLab(p LabParams) (*Lab, error) {
 
 // buildMatrices featurizes train and test incidents once (through the
 // builder, warming the cache) for the model-comparison experiments.
+// Featurization is per-incident pure, so it fans out across workers and
+// the matrices are assembled in incident order afterwards.
 func (lab *Lab) buildMatrices() {
 	fb := lab.Scout.Builder()
+	type featRow struct {
+		x  []float64
+		ok bool
+	}
 	feat := func(ins []*incident.Incident) (xs [][]float64, ys []bool, ids []string) {
-		for _, in := range ins {
+		rows := parallel.Map(lab.Params.Workers, len(ins), func(i int) featRow {
+			in := ins[i]
 			ex := fb.Extract(in.Title, in.Body, in.Components)
 			if ex.Excluded || ex.Empty {
+				return featRow{}
+			}
+			return featRow{x: fb.Featurize(ex, in.CreatedAt), ok: true}
+		})
+		for i, r := range rows {
+			if !r.ok {
 				continue
 			}
-			xs = append(xs, fb.Featurize(ex, in.CreatedAt))
-			ys = append(ys, in.OwnerLabel == Team)
-			ids = append(ids, in.ID)
+			xs = append(xs, r.x)
+			ys = append(ys, ins[i].OwnerLabel == Team)
+			ids = append(ids, ins[i].ID)
 		}
 		return xs, ys, ids
 	}
@@ -163,11 +182,15 @@ func (lab *Lab) TrainSet() *mlcore.Dataset {
 	return d
 }
 
-// EvalVectors scores a classifier over the cached test matrix.
+// EvalVectors scores a classifier over the cached test matrix, fanning the
+// (read-only) predictions out across the lab's workers.
 func (lab *Lab) EvalVectors(clf mlcore.Classifier) metrics.Confusion {
-	var c metrics.Confusion
-	for i := range lab.TestX {
+	preds := parallel.Map(lab.Params.Workers, len(lab.TestX), func(i int) bool {
 		pred, _ := clf.Predict(lab.TestX[i])
+		return pred
+	})
+	var c metrics.Confusion
+	for i, pred := range preds {
 		c.Add(pred, lab.TestY[i])
 	}
 	return c
@@ -193,7 +216,7 @@ func (lab *Lab) RNG(salt int64) *rand.Rand {
 // DefaultForest is the forest parameterization experiments reuse when they
 // retrain on cached matrices.
 func (lab *Lab) DefaultForest(seed int64) forest.Params {
-	return forest.Params{NumTrees: 100, MaxDepth: 14, Seed: seed}
+	return forest.Params{NumTrees: 100, MaxDepth: 14, Seed: seed, Workers: lab.Params.Workers}
 }
 
 // --- small report helpers ---------------------------------------------

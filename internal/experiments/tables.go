@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"scouts/internal/cloudsim"
+	"scouts/internal/core"
 	"scouts/internal/metrics"
 	"scouts/internal/ml/bayes"
 	"scouts/internal/ml/boost"
@@ -14,6 +15,7 @@ import (
 	"scouts/internal/ml/mlcore"
 	"scouts/internal/ml/neighbors"
 	"scouts/internal/ml/neural"
+	"scouts/internal/parallel"
 	"scouts/internal/survey"
 )
 
@@ -50,17 +52,30 @@ func renderModelTable(title string, rows []ModelRow) string {
 // Table1 evaluates the supervised RF, CPD+ and the NLP recommender on the
 // test set.
 func Table1(lab *Lab) Table1Result {
+	// Three independent model queries per incident — fan out in parallel,
+	// fold the confusion matrices sequentially in incident order.
+	type triple struct {
+		rf, cpd core.Prediction
+		nlpTop  string
+	}
+	preds := parallel.Map(lab.Params.Workers, len(lab.Test), func(i int) triple {
+		in := lab.Test[i]
+		var t triple
+		t.rf = lab.Scout.PredictWithModel("rf", in.Title, in.Body, in.InitialComponents, in.CreatedAt)
+		t.cpd = lab.Scout.PredictWithModel("cpd+", in.Title, in.Body, in.InitialComponents, in.CreatedAt)
+		t.nlpTop, _ = lab.NLP.Route(in.Text())
+		return t
+	})
 	var rf, cpdC, nlp metrics.Confusion
-	for _, in := range lab.Test {
+	for i, in := range lab.Test {
 		actual := in.OwnerLabel == Team
-		if p := lab.Scout.PredictWithModel("rf", in.Title, in.Body, in.InitialComponents, in.CreatedAt); p.Usable() {
+		if p := preds[i].rf; p.Usable() {
 			rf.Add(p.Responsible, actual)
 		}
-		if p := lab.Scout.PredictWithModel("cpd+", in.Title, in.Body, in.InitialComponents, in.CreatedAt); p.Usable() {
+		if p := preds[i].cpd; p.Usable() {
 			cpdC.Add(p.Responsible, actual)
 		}
-		top, _ := lab.NLP.Route(in.Text())
-		nlp.Add(top == Team, actual)
+		nlp.Add(preds[i].nlpTop == Team, actual)
 	}
 	return Table1Result{Rows: []ModelRow{
 		{"RF", rf.Precision(), rf.Recall(), rf.F1()},

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"scouts/internal/ml/mlcore"
+	"scouts/internal/parallel"
 )
 
 // Params configure random-forest training.
@@ -36,6 +37,13 @@ type Params struct {
 	// DisableBootstrap turns it off (each tree sees all samples, useful in
 	// tests that need exact reproducibility of a single tree).
 	DisableBootstrap bool
+	// Workers bounds the goroutines used to grow trees; 0 selects
+	// runtime.GOMAXPROCS(0). Training output is bit-identical for every
+	// worker count: per-tree seeds are pre-drawn in tree order and feature
+	// importance is accumulated per tree, then merged in tree order. The
+	// knob is deliberately excluded from snapshots — it describes the
+	// training machine, not the model.
+	Workers int `json:"-"`
 }
 
 func (p Params) withDefaults() Params {
@@ -80,14 +88,27 @@ func Train(d *mlcore.Dataset, p Params) (*Forest, error) {
 		imp:      make([]float64, d.Dim()),
 		params:   p,
 	}
+	// Pre-draw every per-tree seed in tree order. The seed stream depends
+	// only on p.Seed, so the parallel schedule below cannot perturb it and
+	// tree t is grown from the same generator state at any worker count.
 	seedGen := newRNG(uint64(p.Seed))
-	for t := 0; t < p.NumTrees; t++ {
+	seeds := make([]uint64, p.NumTrees)
+	for t := range seeds {
+		seeds[t] = seedGen.next()
+	}
+	f.trees = make([]*tree, p.NumTrees)
+	// Each tree accumulates importance privately; the merge below runs in
+	// tree order so the floating-point sums are identical for every worker
+	// count (float addition is not associative — a shared accumulator or
+	// per-worker accumulators would make importances schedule-dependent).
+	treeImp := make([][]float64, p.NumTrees)
+	parallel.For(p.Workers, p.NumTrees, func(t int) {
 		tp := &treeParams{
 			maxDepth: p.MaxDepth,
 			minLeaf:  p.MinLeaf,
 			mtry:     mtry,
-			featImp:  f.imp,
-			rng:      newRNG(seedGen.next()),
+			featImp:  make([]float64, d.Dim()),
+			rng:      newRNG(seeds[t]),
 		}
 		idx := make([]int, d.Len())
 		if p.DisableBootstrap {
@@ -99,7 +120,13 @@ func Train(d *mlcore.Dataset, p Params) (*Forest, error) {
 				idx[i] = tp.rng.intn(d.Len())
 			}
 		}
-		f.trees = append(f.trees, buildTree(d, idx, tp))
+		f.trees[t] = buildTree(d, idx, tp)
+		treeImp[t] = tp.featImp
+	})
+	for _, imp := range treeImp {
+		for i, v := range imp {
+			f.imp[i] += v
+		}
 	}
 	// Normalize importance to sum to 1 (when any split happened).
 	var total float64

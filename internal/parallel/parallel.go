@@ -1,0 +1,82 @@
+// Package parallel is the deterministic worker-pool substrate of the
+// repository's parallel execution layer. Every hot path that fans out —
+// forest training, per-incident featurization, evaluation prediction —
+// funnels through For, which guarantees the same semantics regardless of
+// worker count: work items are addressed by index, so callers write results
+// into index-addressed slots and any order-sensitive post-processing (rng
+// draws, accumulator merges) runs sequentially over those slots afterwards.
+//
+// The contract that keeps parallel output bit-identical to sequential
+// output is: (1) each work item must be a pure function of its index plus
+// read-only shared state, and (2) anything order-dependent — floating-point
+// accumulation, random sampling — happens after For returns, in index
+// order. See DESIGN.md "Parallel execution layer".
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n when positive, otherwise
+// runtime.GOMAXPROCS(0). This is the default applied to every Workers
+// option in the repository.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) using up to `workers` goroutines
+// (resolved through Workers). Items are handed out dynamically via an
+// atomic counter, so uneven item costs balance across workers. With
+// workers <= 1 — or n == 1 — it degrades to a plain loop on the calling
+// goroutine, which keeps single-core runs allocation-free and makes the
+// sequential path literally the same code path callers can diff against.
+//
+// fn must not panic across items it does not own and must treat shared
+// state as read-only; results should be written to index-addressed slots.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn over [0, n) with the given worker count and collects the
+// results in index order — the common "parallel compute, sequential
+// consume" shape of the evaluation drivers.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

@@ -102,8 +102,10 @@ type PredictRequest struct {
 	Title      string   `json:"title"`
 	Body       string   `json:"body"`
 	Components []string `json:"components,omitempty"`
-	// Time is the trigger time in model hours. Zero means "now" is
-	// meaningless for the synthetic substrate, so it is required.
+	// Time is the trigger time in model hours. It is required and must be
+	// positive: "now" is meaningless for the synthetic substrate, and a
+	// zero Time would score the incident against the wrong monitoring
+	// window, so missing/negative values are rejected with 400.
 	Time float64 `json:"time"`
 }
 
@@ -222,9 +224,14 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleReload hot-swaps to the latest stored model. Failures (empty
+// store, corrupt snapshot) answer 503 Service Unavailable, not a 4xx: the
+// caller did nothing wrong — the serving side is not ready — and load
+// balancers and the scoutd health loop treat 503 as "take me out of
+// rotation, retry later".
 func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 	if err := s.Reload(); err != nil {
-		s.writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
 	}
 	s.handleHealth(w, nil)
@@ -243,6 +250,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Title == "" && req.Body == "" {
 		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "title or body required"})
+		return
+	}
+	// Time is required: a missing (zero) or negative trigger time would
+	// silently score the incident against the t=0 monitoring window — a
+	// wrong answer with full confidence — so reject it instead.
+	if req.Time <= 0 {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "time is required and must be positive (trigger time in model hours)"})
 		return
 	}
 	p := m.scout.Predict(req.Title, req.Body, req.Components, req.Time)

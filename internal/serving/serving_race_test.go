@@ -1,0 +1,134 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestPredictRejectsMissingTime(t *testing.T) {
+	srv, _, _ := trainAndServe(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, tm := range []float64{0, -12.5} {
+		body, _ := json.Marshal(PredictRequest{
+			Title: "link down", Body: "tor1.c1.dc1 unreachable", Time: tm,
+		})
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("time=%v should 400, got %d", tm, resp.StatusCode)
+		}
+		if eb.Error == "" {
+			t.Fatalf("time=%v rejection should explain itself", tm)
+		}
+	}
+}
+
+func TestReloadEmptyStoreAnswers503(t *testing.T) {
+	gen, _, _ := testEnv(t)
+	srv := NewServer(gen.Topology(), gen.Telemetry(), NewStore(), nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// 503, not 409: the client did nothing wrong — the serving side is not
+	// ready, and load balancers treat 503 as "retry elsewhere / later".
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("reload from empty store should 503, got %d", resp.StatusCode)
+	}
+}
+
+// TestHotSwapUnderLoad publishes and reloads new model versions while
+// /v1/predict traffic is in flight. Run under -race this exercises the
+// atomic model swap: every in-flight request must see a complete model
+// (one consistent scout+version pair) and answer 200.
+func TestHotSwapUnderLoad(t *testing.T) {
+	srv, store, _ := trainAndServe(t)
+	_, log, _ := testEnv(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	in := log.Incidents[len(log.Incidents)-5]
+	body, _ := json.Marshal(PredictRequest{
+		Title: in.Title, Body: in.Body, Components: in.Components, Time: in.CreatedAt,
+	})
+
+	baseVersions := store.Versions()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Swapper: republish the current snapshot as new versions and hot-swap.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m, _ := store.Latest()
+		for i := 0; i < 10; i++ {
+			store.Put(m.Team, m.Snapshot)
+			resp, err := http.Post(ts.URL+"/v1/reload", "application/json", nil)
+			if err != nil {
+				t.Error(err)
+				break
+			}
+			resp.Body.Close()
+		}
+		close(stop)
+	}()
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var pr PredictResponse
+				if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+					t.Error(err)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("predict during swap: status %d", resp.StatusCode)
+					return
+				}
+				if pr.ModelVersion < baseVersions {
+					t.Errorf("prediction from pre-swap version %d", pr.ModelVersion)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := store.Versions(); got != baseVersions+10 {
+		t.Fatalf("store has %d versions, want %d", got, baseVersions+10)
+	}
+	if err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+}
