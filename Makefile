@@ -24,12 +24,26 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Kernel benchmarks: the presorted split finder vs the retained seed
+# kernel, aggregate-backed featurization vs window materialization, and the
+# O(log n) window aggregates vs a full scan. Results land in BENCH_PR2.json
+# (ns/op, allocs/op) via cmd/benchjson; compare the paired sub-benchmarks.
+bench:
+	$(GO) test -bench 'BestSplit|Featurize|WindowStats' -benchtime 3x -run '^$$' . \
+		| $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	@cat BENCH_PR2.json
+
 # Worker-count sweeps: compare ns/op between workers=1 and workers=4+ for
 # the parallel-layer speedup (single-core machines will show parity).
-bench:
+bench-workers:
 	$(GO) test -bench 'Workers' -benchtime 1x -run '^$$'
 
-ci: vet build race
+# Bench smoke: one iteration of every kernel benchmark, no output files —
+# catches bitrot in the benchmark code itself without timing anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BestSplit|WindowStats' -benchtime 1x .
+
+ci: vet build race bench-smoke
 
 clean:
 	$(GO) clean ./...

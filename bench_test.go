@@ -11,9 +11,11 @@ import (
 	"sync"
 	"testing"
 
+	"scouts/internal/core"
 	"scouts/internal/evaluate"
 	"scouts/internal/experiments"
 	"scouts/internal/ml/forest"
+	"scouts/internal/monitoring"
 )
 
 var (
@@ -291,6 +293,104 @@ func BenchmarkForestTrainWorkers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBestSplit times a 25-tree bootstrap ensemble on the lab's
+// cached training matrix with both split-finding kernels: "presorted" is
+// the presorted-columns kernel (one O(dim·n log n) presort shared by all
+// trees, then O(mtry·n) split scans with zero per-node allocations),
+// "reference" is the retained seed kernel that re-sorts every node's
+// samples per candidate feature. Both grow byte-identical forests (see
+// TestGoldenEquivalenceOnLabData); compare ns/op and allocs/op for the
+// win. The ensemble matters: a single-tree run would charge the whole
+// presort to one tree and understate the kernel exactly where it is used.
+func BenchmarkBestSplit(b *testing.B) {
+	l := lab(b)
+	train := l.TrainSet()
+	for _, k := range []struct {
+		name string
+		ref  bool
+	}{{"presorted", false}, {"reference", true}} {
+		b.Run(k.name, func(b *testing.B) {
+			p := forest.Params{
+				NumTrees: 25, MaxDepth: 14, Seed: l.Params.Seed,
+				Workers: 1, ReferenceKernel: k.ref,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := forest.Train(train, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchWindowOnly hides a source's StatsSource capability so featurization
+// falls back to materializing raw windows — the pre-aggregate path.
+type benchWindowOnly struct{ monitoring.DataSource }
+
+// BenchmarkFeaturize times one incident featurization through the
+// aggregate-backed path ("stats": baseline windows answered as
+// WindowStats/EventCount, no raw-window copies) and the materializing path
+// ("windows": every window copied, then reduced). Both produce
+// bit-identical feature vectors on the simulator source; compare allocs/op
+// for the copy-elimination.
+func BenchmarkFeaturize(b *testing.B) {
+	l := lab(b)
+	tel := l.Gen.Telemetry()
+	for _, k := range []struct {
+		name string
+		src  monitoring.DataSource
+	}{{"stats", tel}, {"windows", benchWindowOnly{tel}}} {
+		b.Run(k.name, func(b *testing.B) {
+			fb := core.NewFeatureBuilder(l.Cfg, l.Gen.Topology(), k.src)
+			in := l.Test[0]
+			ex := fb.Extract(in.Title, in.Body, in.Components)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = fb.Featurize(ex, in.CreatedAt)
+			}
+		})
+	}
+}
+
+// BenchmarkWindowStats times window aggregation over a ~100k-point store
+// series: "prefix" answers from the O(log n) aggregate layer (prefix sums +
+// sparse min/max tables, zero allocations), "scan" materializes the window
+// and reduces it — the only option before the aggregate layer existed.
+func BenchmarkWindowStats(b *testing.B) {
+	s := monitoring.NewStore(0)
+	if err := s.Register(monitoring.Descriptor{Name: "cpu", Type: monitoring.TimeSeries}); err != nil {
+		b.Fatal(err)
+	}
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		v := float64((i*2654435761)%1000) / 10
+		if err := s.AppendPoint("cpu", "srv1", monitoring.Point{Time: float64(i) / 10, Value: v}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	from, to := float64(n)/10*0.25, float64(n)/10*0.75 // middle half: 50k points
+	b.Run("prefix", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := s.WindowStats("cpu", "srv1", from, to); !ok {
+				b.Fatal("no stats")
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			vals := s.SeriesWindow("cpu", "srv1", from, to)
+			if st := monitoring.StatsOf(vals); st.Count == 0 {
+				b.Fatal("no stats")
+			}
+		}
+	})
 }
 
 // BenchmarkEvaluateRunWorkers sweeps the worker count over the §7

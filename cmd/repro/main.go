@@ -10,6 +10,11 @@
 // Experiment IDs: table1 table2 table3 table4 table5 headline latency
 // fig1 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 // fig15 fig16 storage.
+//
+// Forest training runs on the presorted-columns split kernel and
+// featurization on the O(log n) window-aggregate layer (DESIGN.md §7);
+// results are bit-identical to the seed kernels at any -workers value, and
+// `make bench` records the kernel speedups in BENCH_PR2.json.
 package main
 
 import (

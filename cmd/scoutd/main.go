@@ -15,6 +15,11 @@
 // The server is configured for exposure to untrusted clients (header and
 // idle timeouts bound slow-client resource usage) and drains gracefully on
 // SIGINT/SIGTERM so in-flight predictions complete before exit.
+//
+// Startup training uses the presorted-columns split kernel, and request-time
+// featurization answers window statistics through the monitoring aggregate
+// layer instead of copying raw points (DESIGN.md §7) — keeping /v1/predict
+// latency flat as telemetry history grows.
 package main
 
 import (

@@ -231,9 +231,9 @@ func (t *Telemetry) clusterOffset(spec *datasetSpec, component string) float64 {
 	return (u*2 - 1) * spec.perClust
 }
 
-// SeriesWindow implements monitoring.DataSource: values at every tick in
-// [from, to).
-func (t *Telemetry) SeriesWindow(dataset, component string, from, to float64) []float64 {
+// seriesSpec gates a time-series query: the spec when the dataset exists,
+// is live, is a time series, and monitors the component; nil otherwise.
+func (t *Telemetry) seriesSpec(dataset, component string) *datasetSpec {
 	t.mu.RLock()
 	spec, ok := t.byDS[dataset]
 	removed := t.removed[dataset]
@@ -241,8 +241,14 @@ func (t *Telemetry) SeriesWindow(dataset, component string, from, to float64) []
 	if !ok || removed || spec.desc.Type != monitoring.TimeSeries || !t.covered(spec, component) {
 		return nil
 	}
+	return spec
+}
+
+// seriesInto appends the synthesized values at every tick in [from, to) to
+// buf and returns it — the one synthesis loop shared by SeriesWindow and
+// WindowStats, so both produce bit-identical values.
+func (t *Telemetry) seriesInto(buf []float64, spec *datasetSpec, dataset, component string, from, to float64) []float64 {
 	first := int(math.Ceil(from / Tick))
-	var out []float64
 	offset := t.clusterOffset(spec, component)
 	anoms := t.relevantAnomalies(dataset, component, from, to)
 	for k := first; ; k++ {
@@ -256,9 +262,37 @@ func (t *Telemetry) SeriesWindow(dataset, component string, from, to float64) []
 		}
 		noise := hashNorm(t.seed, dataset, component, k)
 		v := spec.base + offset + meanShift + noise*spec.sigma*stdScale
-		out = append(out, v)
+		buf = append(buf, v)
 	}
-	return out
+	return buf
+}
+
+// SeriesWindow implements monitoring.DataSource: values at every tick in
+// [from, to).
+func (t *Telemetry) SeriesWindow(dataset, component string, from, to float64) []float64 {
+	spec := t.seriesSpec(dataset, component)
+	if spec == nil {
+		return nil
+	}
+	return t.seriesInto(nil, spec, dataset, component, from, to)
+}
+
+// WindowStats implements monitoring.StatsSource. The values are synthesized
+// into a small scratch buffer (stack-sized for the Scout's 20-sample
+// look-back windows) instead of a returned slice, and the aggregates use
+// StatsOf — bit-identical to materializing the window and computing
+// metrics.Mean/metrics.StdDev on it.
+func (t *Telemetry) WindowStats(dataset, component string, from, to float64) (monitoring.Stats, bool) {
+	spec := t.seriesSpec(dataset, component)
+	if spec == nil {
+		return monitoring.Stats{}, false
+	}
+	var scratch [64]float64
+	vals := t.seriesInto(scratch[:0], spec, dataset, component, from, to)
+	if len(vals) == 0 {
+		return monitoring.Stats{}, false
+	}
+	return monitoring.StatsOf(vals), true
 }
 
 // EventsWindow implements monitoring.DataSource: background events plus
@@ -298,11 +332,45 @@ func (t *Telemetry) EventsWindow(dataset, component string, from, to float64) []
 	return out
 }
 
+// EventCount implements monitoring.StatsSource: the number of events in
+// [from, to), evaluated with the same per-tick occurrence predicate as
+// EventsWindow but without materializing any records.
+func (t *Telemetry) EventCount(dataset, component string, from, to float64) int {
+	t.mu.RLock()
+	spec, ok := t.byDS[dataset]
+	removed := t.removed[dataset]
+	t.mu.RUnlock()
+	if !ok || removed || spec.desc.Type != monitoring.Event || !t.covered(spec, component) {
+		return 0
+	}
+	first := int(math.Ceil(from / Tick))
+	anoms := t.relevantAnomalies(dataset, component, from, to)
+	n := 0
+	for k := first; ; k++ {
+		ts := float64(k) * Tick
+		if ts >= to {
+			break
+		}
+		extraRate := 0.0
+		if len(anoms) > 0 {
+			_, _, extraRate, _ = effectsAt(dataset, anoms, ts)
+		}
+		p := (spec.bgRate + extraRate) * Tick
+		if p > 0 && hashUnit(t.seed, dataset, component, k) < p {
+			n++
+		}
+	}
+	return n
+}
+
 // Topology exposes the underlying topology.
 func (t *Telemetry) Topology() *topology.Topology { return t.topo }
 
-// Interface conformance check.
-var _ monitoring.DataSource = (*Telemetry)(nil)
+// Interface conformance checks.
+var (
+	_ monitoring.DataSource  = (*Telemetry)(nil)
+	_ monitoring.StatsSource = (*Telemetry)(nil)
+)
 
 // --- deterministic hashing ---------------------------------------------
 

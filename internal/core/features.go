@@ -88,6 +88,12 @@ type FeatureBuilder struct {
 	cfg    *Config
 	topo   *topology.Topology
 	source monitoring.DataSource
+	// stats is the aggregate-query view of source: the source itself when
+	// it offers monitoring.StatsSource (the Store, the cloud simulator), a
+	// window-materializing adapter otherwise. Featurization pulls baseline
+	// statistics and event counts through it so the hot path stops copying
+	// raw windows it only ever reduced to count/mean/std.
+	stats monitoring.StatsSource
 
 	groups []featureGroup
 	types  []topology.ComponentType // component types present in the layout
@@ -107,6 +113,7 @@ type FeatureBuilder struct {
 func NewFeatureBuilder(cfg *Config, topo *topology.Topology, source monitoring.DataSource) *FeatureBuilder {
 	fb := &FeatureBuilder{
 		cfg: cfg, topo: topo, source: source,
+		stats:      monitoring.StatsSourceOf(source),
 		slotOf:     map[string]int{},
 		groupSlots: map[string][]int{},
 	}
@@ -337,7 +344,7 @@ func (fb *FeatureBuilder) Featurize(ex Extraction, t float64) []float64 {
 				count := 0.0
 				for _, d := range g.datasets {
 					for _, comp := range comps {
-						count += float64(len(fb.source.EventsWindow(d.Name, comp, t-T, t)))
+						count += float64(fb.stats.EventCount(d.Name, comp, t-T, t))
 					}
 				}
 				x[slot] = count
@@ -351,8 +358,11 @@ func (fb *FeatureBuilder) Featurize(ex Extraction, t float64) []float64 {
 					if len(cur) == 0 {
 						continue
 					}
-					base := fb.source.SeriesWindow(d.Name, comp, t-2*T, t-T)
-					merged = append(merged, normalize(cur, base)...)
+					// The baseline window is only ever reduced to its mean
+					// and standard deviation — ask the source for the
+					// aggregates instead of materializing the values.
+					bs, ok := fb.stats.WindowStats(d.Name, comp, t-2*T, t-T)
+					merged = appendNormalized(merged, cur, bs, ok)
 				}
 			}
 			s := metrics.Summarize(merged)
@@ -365,14 +375,18 @@ func (fb *FeatureBuilder) Featurize(ex Extraction, t float64) []float64 {
 	return x
 }
 
-// normalize z-scores the current window against baseline statistics, so
-// merged series from different hardware are comparable and a distribution
-// shift shows up in the upper/lower percentiles.
-func normalize(cur, base []float64) []float64 {
-	mean := metrics.Mean(base)
-	std := metrics.StdDev(base)
-	if len(base) == 0 {
+// appendNormalized z-scores the current window against the baseline
+// window's aggregates and appends the result to dst, so merged series from
+// different hardware are comparable and a distribution shift shows up in
+// the upper/lower percentiles. baseOK is false when the baseline window was
+// empty; the current window's own mean then centers the values (and the
+// zero std falls through to the same floor the materializing implementation
+// used).
+func appendNormalized(dst, cur []float64, base monitoring.Stats, baseOK bool) []float64 {
+	mean, std := base.Mean, base.Std
+	if !baseOK {
 		mean = metrics.Mean(cur)
+		std = 0
 	}
 	if std < 1e-9 {
 		std = 1e-9 + math.Abs(mean)*0.01
@@ -380,11 +394,10 @@ func normalize(cur, base []float64) []float64 {
 			std = 1
 		}
 	}
-	out := make([]float64, len(cur))
-	for i, v := range cur {
-		out[i] = (v - mean) / std
+	for _, v := range cur {
+		dst = append(dst, (v-mean)/std)
 	}
-	return out
+	return dst
 }
 
 // CPDInput assembles the CPD+ evidence for an incident (§5.2.2): raw series
@@ -432,14 +445,17 @@ func (fb *FeatureBuilder) CPDInput(ex Extraction, t float64) cpd.Input {
 		for _, d := range g.datasets {
 			for _, comp := range comps {
 				if d.Type == monitoring.Event {
-					evs := fb.source.EventsWindow(d.Name, comp, t-T, t)
-					if evs == nil {
+					n := fb.stats.EventCount(d.Name, comp, t-T, t)
+					if n == 0 {
+						// A zero count is ambiguous between "quiet window"
+						// and "dataset does not observe this component";
+						// only the former contributes a zero observation.
 						c, ok := fb.topo.Lookup(comp)
 						if !ok || !d.CoversType(c.Type) {
 							continue
 						}
 					}
-					in.Events[d.Name] = append(in.Events[d.Name], float64(len(evs)))
+					in.Events[d.Name] = append(in.Events[d.Name], float64(n))
 					continue
 				}
 				// Use the doubled window so the change point (fault

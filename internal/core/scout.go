@@ -3,7 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"scouts/internal/incident"
@@ -553,7 +553,15 @@ func (s *Scout) TopFeatures(n int) []string {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return imp[idx[a]] > imp[idx[b]] })
+	slices.SortFunc(idx, func(a, b int) int {
+		if imp[a] > imp[b] {
+			return -1
+		}
+		if imp[b] > imp[a] {
+			return 1
+		}
+		return a - b // total order: equally important features rank by slot
+	})
 	if n > len(idx) {
 		n = len(idx)
 	}

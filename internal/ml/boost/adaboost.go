@@ -6,7 +6,7 @@ package boost
 import (
 	"errors"
 	"math"
-	"sort"
+	"slices"
 
 	"scouts/internal/ml/mlcore"
 )
@@ -68,8 +68,15 @@ func Train(d *mlcore.Dataset, p Params) (*AdaBoost, error) {
 		for i := range idx {
 			idx[i] = i
 		}
-		sort.Slice(idx, func(a, b int) bool {
-			return d.Samples[idx[a]].X[j] < d.Samples[idx[b]].X[j]
+		slices.SortFunc(idx, func(a, b int) int {
+			va, vb := d.Samples[a].X[j], d.Samples[b].X[j]
+			if va < vb {
+				return -1
+			}
+			if vb < va {
+				return 1
+			}
+			return a - b // total order: equal values scan in sample order
 		})
 		order[j] = idx
 	}

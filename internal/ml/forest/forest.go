@@ -14,7 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"scouts/internal/ml/mlcore"
 	"scouts/internal/parallel"
@@ -44,6 +45,12 @@ type Params struct {
 	// knob is deliberately excluded from snapshots — it describes the
 	// training machine, not the model.
 	Workers int `json:"-"`
+	// ReferenceKernel selects the retained seed split-finding kernel
+	// (per-node re-sorting) instead of the presorted-columns kernel. It
+	// exists for the golden-equivalence tests and the kernel benchmarks
+	// only — both kernels grow byte-identical forests — and, like Workers,
+	// is excluded from snapshots.
+	ReferenceKernel bool `json:"-"`
 }
 
 func (p Params) withDefaults() Params {
@@ -102,6 +109,16 @@ func Train(d *mlcore.Dataset, p Params) (*Forest, error) {
 	// count (float addition is not associative — a shared accumulator or
 	// per-worker accumulators would make importances schedule-dependent).
 	treeImp := make([][]float64, p.NumTrees)
+	// The presorted kernel shares one read-only column-major presort across
+	// all trees and pools the per-tree scratch across workers (a scratch is
+	// fully overwritten by reset, so pool reuse order cannot leak state
+	// between trees and determinism is preserved).
+	var cols *mlcore.Columns
+	var scratch sync.Pool
+	if !p.ReferenceKernel {
+		cols = mlcore.NewColumns(d, p.Workers)
+		scratch.New = func() any { return newSplitCtx(cols) }
+	}
 	parallel.For(p.Workers, p.NumTrees, func(t int) {
 		tp := &treeParams{
 			maxDepth: p.MaxDepth,
@@ -120,7 +137,14 @@ func Train(d *mlcore.Dataset, p Params) (*Forest, error) {
 				idx[i] = tp.rng.intn(d.Len())
 			}
 		}
-		f.trees[t] = buildTree(d, idx, tp)
+		if p.ReferenceKernel {
+			f.trees[t] = buildTreeReference(d, idx, tp)
+		} else {
+			ctx := scratch.Get().(*splitCtx)
+			ctx.reset(idx)
+			f.trees[t] = buildTree(ctx, tp)
+			scratch.Put(ctx)
+		}
 		treeImp[t] = tp.featImp
 	})
 	for _, imp := range treeImp {
@@ -207,8 +231,16 @@ func (f *Forest) Explain(x []float64) (prior float64, contribs []Contribution) {
 			contribs = append(contribs, Contribution{Feature: f.features[i], Value: v})
 		}
 	}
-	sort.Slice(contribs, func(i, j int) bool {
-		return math.Abs(contribs[i].Value) > math.Abs(contribs[j].Value)
+	slices.SortFunc(contribs, func(a, b Contribution) int {
+		av, bv := math.Abs(a.Value), math.Abs(b.Value)
+		switch {
+		case av > bv:
+			return -1
+		case bv > av:
+			return 1
+		default:
+			return 0
+		}
 	})
 	return prior, contribs
 }

@@ -1,0 +1,53 @@
+package forest_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"scouts/internal/experiments"
+	"scouts/internal/ml/forest"
+)
+
+// TestGoldenEquivalenceOnLabData is the PR's golden gate: on a realistic
+// fixed-seed lab training set (real feature distributions — heavy zero
+// runs, summary-statistic columns), the presorted split kernel and the
+// retained seed kernel serialize to byte-identical snapshots, at one worker
+// and at eight. A snapshot captures every split feature, threshold, leaf
+// probability and node weight, so byte equality means the optimization
+// changed nothing but speed.
+func TestGoldenEquivalenceOnLabData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lab generation is slow")
+	}
+	lab, err := experiments.NewLab(experiments.LabParams{Days: 40, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := lab.TrainSet()
+	for _, workers := range []int{1, 8} {
+		p := forest.Params{NumTrees: 30, MaxDepth: 14, Seed: 20200810, Workers: workers}
+		ref := p
+		ref.ReferenceKernel = true
+		presorted, err := forest.Train(d, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed, err := forest.Train(d, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := json.Marshal(presorted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("workers=%d: presorted kernel snapshot (%d bytes) differs from seed kernel (%d bytes)",
+				workers, len(a), len(b))
+		}
+	}
+}

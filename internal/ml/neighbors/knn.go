@@ -5,7 +5,7 @@ package neighbors
 
 import (
 	"errors"
-	"sort"
+	"slices"
 
 	"scouts/internal/ml/linalg"
 	"scouts/internal/ml/mlcore"
@@ -78,7 +78,15 @@ func (k *KNN) Predict(x []float64) (bool, float64) {
 	for i, tx := range k.xs {
 		cands[i] = cand{d: linalg.SqDist(x, tx), i: i}
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	slices.SortFunc(cands, func(a, b cand) int {
+		if a.d < b.d {
+			return -1
+		}
+		if b.d < a.d {
+			return 1
+		}
+		return a.i - b.i // total order: equidistant neighbors rank by index
+	})
 	kk := k.params.K
 	if kk > len(cands) {
 		kk = len(cands)

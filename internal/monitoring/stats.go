@@ -1,0 +1,110 @@
+package monitoring
+
+import (
+	"math"
+
+	"scouts/internal/metrics"
+)
+
+// Stats are the windowed aggregates featurization consumes instead of raw
+// sample windows: count, sum, sum of squares, min, max, plus the derived
+// mean and (sample) standard deviation.
+//
+// Mean and Std are carried as fields rather than recomputed by the consumer
+// so each producer can choose its arithmetic: sources that see the raw
+// values (StatsOf, the cloud simulator) compute the two-pass mean/std that
+// is bit-identical to metrics.Mean/metrics.StdDev, while the aggregate-
+// backed Store derives them from the moments it maintains — equal up to
+// floating-point association (see DESIGN.md §7).
+type Stats struct {
+	Count int
+	Sum   float64
+	SumSq float64
+	Min   float64
+	Max   float64
+	Mean  float64
+	Std   float64
+}
+
+// StatsOf computes the window aggregates of raw values in one pass plus the
+// two-pass mean/std of the metrics package, so downstream arithmetic is
+// bit-identical to code that materialized the window and called
+// metrics.Mean/metrics.StdDev on it. Empty input returns the zero Stats.
+func StatsOf(vals []float64) Stats {
+	if len(vals) == 0 {
+		return Stats{}
+	}
+	st := Stats{Count: len(vals), Min: vals[0], Max: vals[0]}
+	for _, v := range vals {
+		st.Sum += v
+		st.SumSq += v * v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean = metrics.Mean(vals)
+	st.Std = metrics.StdDev(vals)
+	return st
+}
+
+// momentStats derives Stats from pre-aggregated moments: mean = sum/n and
+// std = sqrt((sumsq - sum²/n) / (n-1)), clamped at zero against the
+// cancellation the one-pass formula is prone to. Used by aggregate-backed
+// sources that never see the raw window.
+func momentStats(n int, sum, sumsq, mn, mx float64) Stats {
+	st := Stats{Count: n, Sum: sum, SumSq: sumsq, Min: mn, Max: mx}
+	if n > 0 {
+		st.Mean = sum / float64(n)
+	}
+	if n >= 2 {
+		v := (sumsq - sum*sum/float64(n)) / float64(n-1)
+		if v > 0 {
+			st.Std = math.Sqrt(v)
+		}
+	}
+	return st
+}
+
+// StatsSource is the aggregate-query capability a DataSource may offer.
+// Featurization prefers it over SeriesWindow/EventsWindow: a capable source
+// answers without materializing the raw window (the Store in O(log n) from
+// cumulative arrays, the cloud simulator without allocating), which removes
+// the window copies from the per-incident hot path.
+type StatsSource interface {
+	// WindowStats returns the aggregates of the time-series values in
+	// [from, to) for a component. ok is false when the dataset or component
+	// is unknown to the source or the window is empty — mirroring the nil
+	// return of SeriesWindow.
+	WindowStats(dataset, component string, from, to float64) (Stats, bool)
+	// EventCount returns the number of events in [from, to) for a
+	// component.
+	EventCount(dataset, component string, from, to float64) int
+}
+
+// statsAdapter lifts a plain DataSource to a StatsSource by materializing
+// windows — the compatibility path for sources that predate the capability.
+type statsAdapter struct{ src DataSource }
+
+func (a statsAdapter) WindowStats(dataset, component string, from, to float64) (Stats, bool) {
+	vals := a.src.SeriesWindow(dataset, component, from, to)
+	if len(vals) == 0 {
+		return Stats{}, false
+	}
+	return StatsOf(vals), true
+}
+
+func (a statsAdapter) EventCount(dataset, component string, from, to float64) int {
+	return len(a.src.EventsWindow(dataset, component, from, to))
+}
+
+// StatsSourceOf returns src itself when it already offers the aggregate
+// capability, and a window-materializing adapter otherwise.
+func StatsSourceOf(src DataSource) StatsSource {
+	if s, ok := src.(StatsSource); ok {
+		return s
+	}
+	return statsAdapter{src: src}
+}

@@ -9,7 +9,10 @@ package monitoring
 
 import (
 	"fmt"
+	"math/bits"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 
 	"scouts/internal/topology"
@@ -85,13 +88,96 @@ type EventRecord struct {
 	Kind string
 }
 
+// seriesData holds one (dataset, component) time series column-major with
+// the aggregate layer maintained on append:
+//
+//   - prefix/prefixSq are cumulative sums (len n+1, entry i covering
+//     vals[:i]) so any window's sum and sum-of-squares are two-subtraction
+//     lookups;
+//   - minLv/maxLv are incremental sparse tables: level k (stored at index
+//     k-1; level 0 is vals itself) has entry j covering vals[j : j+2^k].
+//     Entry j of level k is completed exactly when element j+2^k-1 arrives,
+//     so each append finishes one entry per level — O(log n) amortized —
+//     and entries complete in index order, making the tables append-only.
+//
+// With the time bounds found by binary search, WindowStats answers
+// count/sum/sumsq/min/max for any window in O(log n) total, never touching
+// the raw values.
+type seriesData struct {
+	times  []float64
+	vals   []float64
+	prefix []float64 // len(vals)+1 cumulative sums; prefix[0] == 0
+	prefSq []float64 // len(vals)+1 cumulative sums of squares
+	minLv  [][]float64
+	maxLv  [][]float64
+}
+
+func (sd *seriesData) append(t, v float64) {
+	if len(sd.prefix) == 0 {
+		sd.prefix = append(sd.prefix, 0)
+		sd.prefSq = append(sd.prefSq, 0)
+	}
+	sd.times = append(sd.times, t)
+	sd.vals = append(sd.vals, v)
+	sd.prefix = append(sd.prefix, sd.prefix[len(sd.prefix)-1]+v)
+	sd.prefSq = append(sd.prefSq, sd.prefSq[len(sd.prefSq)-1]+v*v)
+	n := len(sd.vals)
+	for k := 1; 1<<k <= n; k++ {
+		j := n - 1<<k // the entry this append completes; always len(minLv[k-1])
+		half := 1 << (k - 1)
+		var lmin, rmin, lmax, rmax float64
+		if k == 1 {
+			lmin, rmin = sd.vals[j], sd.vals[j+half]
+			lmax, rmax = lmin, rmin
+		} else {
+			lmin, rmin = sd.minLv[k-2][j], sd.minLv[k-2][j+half]
+			lmax, rmax = sd.maxLv[k-2][j], sd.maxLv[k-2][j+half]
+		}
+		if k-1 == len(sd.minLv) {
+			sd.minLv = append(sd.minLv, nil)
+			sd.maxLv = append(sd.maxLv, nil)
+		}
+		sd.minLv[k-1] = append(sd.minLv[k-1], min(lmin, rmin))
+		sd.maxLv[k-1] = append(sd.maxLv[k-1], max(lmax, rmax))
+	}
+}
+
+// minMax answers a range-min/max query over vals[lo:hi) (hi > lo) from two
+// overlapping power-of-two entries.
+func (sd *seriesData) minMax(lo, hi int) (mn, mx float64) {
+	k := bits.Len(uint(hi-lo)) - 1
+	if k == 0 {
+		return sd.vals[lo], sd.vals[lo]
+	}
+	a, b := lo, hi-1<<k
+	return min(sd.minLv[k-1][a], sd.minLv[k-1][b]),
+		max(sd.maxLv[k-1][a], sd.maxLv[k-1][b])
+}
+
+// window returns the [lo, hi) index bounds of the half-open time window.
+func (sd *seriesData) window(from, to float64) (lo, hi int) {
+	return sort.SearchFloat64s(sd.times, from), sort.SearchFloat64s(sd.times, to)
+}
+
+// eventData holds one (dataset, component) event stream column-major so
+// window counting is pure binary search and per-kind counting touches no
+// record copies.
+type eventData struct {
+	times []float64
+	kinds []string
+}
+
+func (ed *eventData) window(from, to float64) (lo, hi int) {
+	return sort.SearchFloat64s(ed.times, from), sort.SearchFloat64s(ed.times, to)
+}
+
 // Store holds monitoring data for all registered datasets. It is safe for
 // concurrent use; the online serving path reads while generators write.
 type Store struct {
 	mu        sync.RWMutex
 	desc      map[string]Descriptor
-	series    map[string]map[string][]Point
-	events    map[string]map[string][]EventRecord
+	series    map[string]map[string]*seriesData
+	events    map[string]map[string]*eventData
 	retention float64 // hours of data kept; <= 0 keeps everything
 }
 
@@ -101,8 +187,8 @@ type Store struct {
 func NewStore(retentionHours float64) *Store {
 	return &Store{
 		desc:      map[string]Descriptor{},
-		series:    map[string]map[string][]Point{},
-		events:    map[string]map[string][]EventRecord{},
+		series:    map[string]map[string]*seriesData{},
+		events:    map[string]map[string]*eventData{},
 		retention: retentionHours,
 	}
 }
@@ -119,9 +205,9 @@ func (s *Store) Register(d Descriptor) error {
 	}
 	s.desc[d.Name] = d
 	if d.Type == Event {
-		s.events[d.Name] = map[string][]EventRecord{}
+		s.events[d.Name] = map[string]*eventData{}
 	} else {
-		s.series[d.Name] = map[string][]Point{}
+		s.series[d.Name] = map[string]*seriesData{}
 	}
 	return nil
 }
@@ -144,7 +230,7 @@ func (s *Store) Datasets() []Descriptor {
 	for _, d := range s.desc {
 		out = append(out, d)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b Descriptor) int { return strings.Compare(a.Name, b.Name) })
 	return out
 }
 
@@ -166,12 +252,16 @@ func (s *Store) AppendPoint(dataset, component string, p Point) error {
 	if !ok {
 		return fmt.Errorf("monitoring: %q is not a registered time-series dataset", dataset)
 	}
-	pts := m[component]
-	if n := len(pts); n > 0 && pts[n-1].Time > p.Time {
-		return fmt.Errorf("monitoring: out-of-order append to %s/%s (%.4f after %.4f)",
-			dataset, component, p.Time, pts[n-1].Time)
+	sd := m[component]
+	if sd == nil {
+		sd = &seriesData{}
+		m[component] = sd
 	}
-	m[component] = append(pts, p)
+	if n := len(sd.times); n > 0 && sd.times[n-1] > p.Time {
+		return fmt.Errorf("monitoring: out-of-order append to %s/%s (%.4f after %.4f)",
+			dataset, component, p.Time, sd.times[n-1])
+	}
+	sd.append(p.Time, p.Value)
 	return nil
 }
 
@@ -183,11 +273,16 @@ func (s *Store) AppendEvent(dataset, component string, e EventRecord) error {
 	if !ok {
 		return fmt.Errorf("monitoring: %q is not a registered event dataset", dataset)
 	}
-	evs := m[component]
-	if n := len(evs); n > 0 && evs[n-1].Time > e.Time {
+	ed := m[component]
+	if ed == nil {
+		ed = &eventData{}
+		m[component] = ed
+	}
+	if n := len(ed.times); n > 0 && ed.times[n-1] > e.Time {
 		return fmt.Errorf("monitoring: out-of-order append to %s/%s", dataset, component)
 	}
-	m[component] = append(evs, e)
+	ed.times = append(ed.times, e.Time)
+	ed.kinds = append(ed.kinds, e.Kind)
 	return nil
 }
 
@@ -197,44 +292,98 @@ func (s *Store) AppendEvent(dataset, component string, e EventRecord) error {
 func (s *Store) SeriesWindow(dataset, component string, from, to float64) []float64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	pts := s.series[dataset][component]
-	lo := sort.Search(len(pts), func(i int) bool { return pts[i].Time >= from })
-	hi := sort.Search(len(pts), func(i int) bool { return pts[i].Time >= to })
+	sd := s.series[dataset][component]
+	if sd == nil {
+		return nil
+	}
+	lo, hi := sd.window(from, to)
 	if lo >= hi {
 		return nil
 	}
-	out := make([]float64, 0, hi-lo)
-	for _, p := range pts[lo:hi] {
-		out = append(out, p.Value)
-	}
+	out := make([]float64, hi-lo)
+	copy(out, sd.vals[lo:hi])
 	return out
+}
+
+// WindowStats returns the aggregates of the time-series values in [from,
+// to) for a component in O(log n): the time bounds by binary search, sum
+// and sum-of-squares as prefix differences, min and max from the sparse
+// tables. ok is false for unknown datasets/components and empty windows.
+// Mean/Std derive from the moments (see Stats); the query allocates
+// nothing.
+func (s *Store) WindowStats(dataset, component string, from, to float64) (Stats, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sd := s.series[dataset][component]
+	if sd == nil {
+		return Stats{}, false
+	}
+	lo, hi := sd.window(from, to)
+	if lo >= hi {
+		return Stats{}, false
+	}
+	mn, mx := sd.minMax(lo, hi)
+	return momentStats(hi-lo, sd.prefix[hi]-sd.prefix[lo], sd.prefSq[hi]-sd.prefSq[lo], mn, mx), true
 }
 
 // EventsWindow returns the events in [from, to) for a component.
 func (s *Store) EventsWindow(dataset, component string, from, to float64) []EventRecord {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	evs := s.events[dataset][component]
-	lo := sort.Search(len(evs), func(i int) bool { return evs[i].Time >= from })
-	hi := sort.Search(len(evs), func(i int) bool { return evs[i].Time >= to })
+	ed := s.events[dataset][component]
+	if ed == nil {
+		return nil
+	}
+	lo, hi := ed.window(from, to)
 	if lo >= hi {
 		return nil
 	}
 	out := make([]EventRecord, hi-lo)
-	copy(out, evs[lo:hi])
-	return out
-}
-
-// EventCounts returns per-kind counts of events in [from, to).
-func (s *Store) EventCounts(dataset, component string, from, to float64) map[string]int {
-	out := map[string]int{}
-	for _, e := range s.EventsWindow(dataset, component, from, to) {
-		out[e.Kind]++
+	for i := range out {
+		out[i] = EventRecord{Time: ed.times[lo+i], Kind: ed.kinds[lo+i]}
 	}
 	return out
 }
 
-// GC discards data older than the retention horizon relative to now.
+// EventCount returns the number of events in [from, to) for a component —
+// two binary searches, no record materialization.
+func (s *Store) EventCount(dataset, component string, from, to float64) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ed := s.events[dataset][component]
+	if ed == nil {
+		return 0
+	}
+	lo, hi := ed.window(from, to)
+	if lo >= hi {
+		return 0
+	}
+	return hi - lo
+}
+
+// EventCounts returns per-kind counts of events in [from, to), counting in
+// place under the read lock instead of copying the window's records.
+func (s *Store) EventCounts(dataset, component string, from, to float64) map[string]int {
+	out := map[string]int{}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ed := s.events[dataset][component]
+	if ed == nil {
+		return out
+	}
+	lo, hi := ed.window(from, to)
+	for _, k := range ed.kinds[lo:hi] {
+		out[k]++
+	}
+	return out
+}
+
+// Store offers the aggregate-query capability.
+var _ StatsSource = (*Store)(nil)
+
+// GC discards data older than the retention horizon relative to now. The
+// surviving suffix of each series is re-appended into a fresh seriesData so
+// the prefix sums and sparse tables are rebuilt consistently.
 func (s *Store) GC(now float64) {
 	if s.retention <= 0 {
 		return
@@ -243,18 +392,27 @@ func (s *Store) GC(now float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, byComp := range s.series {
-		for comp, pts := range byComp {
-			lo := sort.Search(len(pts), func(i int) bool { return pts[i].Time >= cut })
-			if lo > 0 {
-				byComp[comp] = append([]Point(nil), pts[lo:]...)
+		for comp, sd := range byComp {
+			lo := sort.SearchFloat64s(sd.times, cut)
+			if lo == 0 {
+				continue
 			}
+			kept := &seriesData{}
+			for i := lo; i < len(sd.times); i++ {
+				kept.append(sd.times[i], sd.vals[i])
+			}
+			byComp[comp] = kept
 		}
 	}
 	for _, byComp := range s.events {
-		for comp, evs := range byComp {
-			lo := sort.Search(len(evs), func(i int) bool { return evs[i].Time >= cut })
-			if lo > 0 {
-				byComp[comp] = append([]EventRecord(nil), evs[lo:]...)
+		for comp, ed := range byComp {
+			lo := sort.SearchFloat64s(ed.times, cut)
+			if lo == 0 {
+				continue
+			}
+			byComp[comp] = &eventData{
+				times: append([]float64(nil), ed.times[lo:]...),
+				kinds: append([]string(nil), ed.kinds[lo:]...),
 			}
 		}
 	}
@@ -275,6 +433,6 @@ func (s *Store) Components(dataset string) []string {
 			out = append(out, c)
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -62,7 +62,7 @@ func LoadStore(dir string) (*Store, error) {
 		}
 		files = append(files, vf{v, name})
 	}
-	sort.Slice(files, func(i, j int) bool { return files[i].v < files[j].v })
+	slices.SortFunc(files, func(a, b vf) int { return a.v - b.v })
 	st := NewStore()
 	for i, f := range files {
 		if f.v != i+1 {

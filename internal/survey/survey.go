@@ -7,7 +7,7 @@ package survey
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -125,7 +125,7 @@ func bands(counts map[Band]int) []Band {
 	for k := range counts {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	var out []Band
 	for _, k := range keys {
 		for i := 0; i < counts[k]; i++ {
