@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci clean
+.PHONY: all build vet test race bench bench-workers bench-smoke loadgen-smoke ci clean
 
 all: ci
 
@@ -24,14 +24,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Kernel benchmarks: the presorted split finder vs the retained seed
-# kernel, aggregate-backed featurization vs window materialization, and the
-# O(log n) window aggregates vs a full scan. Results land in BENCH_PR2.json
-# (ns/op, allocs/op) via cmd/benchjson; compare the paired sub-benchmarks.
+# Kernel benchmarks, paired old-vs-new: the presorted split finder vs the
+# retained seed kernel, aggregate-backed featurization vs window
+# materialization, the O(log n) window aggregates vs a full scan, and the
+# flat SoA inference kernel (batch + single) vs the retained pointer
+# kernel, plus the serving predict paths (single and batch=32). Results
+# from both packages land in BENCH_PR3.json (ns/op, allocs/op, per-result
+# pkg) via cmd/benchjson; compare the paired benchmarks.
 bench:
-	$(GO) test -bench 'BestSplit|Featurize|WindowStats' -benchtime 3x -run '^$$' . \
-		| $(GO) run ./cmd/benchjson > BENCH_PR2.json
-	@cat BENCH_PR2.json
+	( $(GO) test -bench 'BestSplit|Featurize|WindowStats' -benchtime 3x -run '^$$' . ; \
+	  $(GO) test -bench 'PredictFlat$$|PredictPointer$$|PredictFlatSingle$$' -benchtime 200x -run '^$$' . ; \
+	  $(GO) test -bench 'ServingPredict' -benchtime 20x -run '^$$' ./internal/serving ) \
+		| $(GO) run ./cmd/benchjson > BENCH_PR3.json
+	@cat BENCH_PR3.json
 
 # Worker-count sweeps: compare ns/op between workers=1 and workers=4+ for
 # the parallel-layer speedup (single-core machines will show parity).
@@ -41,9 +46,15 @@ bench-workers:
 # Bench smoke: one iteration of every kernel benchmark, no output files —
 # catches bitrot in the benchmark code itself without timing anything.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BestSplit|WindowStats' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BestSplit|WindowStats|PredictFlat$$|PredictPointer$$' -benchtime 1x .
 
-ci: vet build race bench-smoke
+# Loadgen smoke: runs the load generator's request/report path in both
+# modes against an in-process httptest server (no sockets, no timing) —
+# catches drift between loadgen's payloads and the serving API.
+loadgen-smoke:
+	$(GO) test -run 'TestLoadgenSmoke' -count 1 ./cmd/loadgen
+
+ci: vet build race bench-smoke loadgen-smoke
 
 clean:
 	$(GO) clean ./...

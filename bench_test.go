@@ -393,6 +393,53 @@ func BenchmarkWindowStats(b *testing.B) {
 	})
 }
 
+// BenchmarkPredictFlat times forest inference over the lab's cached test
+// matrix through the flat SoA kernel's batch entry point: trees stream
+// tree-major over the whole matrix, probabilities accumulate into one
+// reused output slice. Pair with BenchmarkPredictPointer — both score the
+// identical matrix per op, and the outputs are bit-identical (see
+// TestGoldenFlatInferenceOnLabData), so ns/op divides directly.
+func BenchmarkPredictFlat(b *testing.B) {
+	l := lab(b)
+	f := l.Scout.Forest()
+	out := make([]float64, len(l.TestX))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictProbBatch(l.TestX, out)
+	}
+}
+
+// BenchmarkPredictPointer is the retained pointer-chasing kernel scoring
+// the same matrix one vector at a time — the only option before the flat
+// layout existed.
+func BenchmarkPredictPointer(b *testing.B) {
+	l := lab(b)
+	f := l.Scout.Forest()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range l.TestX {
+			_ = f.PredictProbPointer(x)
+		}
+	}
+}
+
+// BenchmarkPredictFlatSingle scores one vector at a time through the flat
+// kernel — the serving single-predict path — isolating the layout win from
+// the batch-loop win.
+func BenchmarkPredictFlatSingle(b *testing.B) {
+	l := lab(b)
+	f := l.Scout.Forest()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range l.TestX {
+			_ = f.PredictProb(x)
+		}
+	}
+}
+
 // BenchmarkEvaluateRunWorkers sweeps the worker count over the §7
 // gain/overhead evaluation (prediction fan-out dominates).
 func BenchmarkEvaluateRunWorkers(b *testing.B) {

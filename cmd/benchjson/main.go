@@ -1,7 +1,9 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // document on stdout, so benchmark runs can be committed and diffed
-// (BENCH_PR2.json) without scraping the text format. Only the standard
-// library is used.
+// (BENCH_PR2.json, BENCH_PR3.json) without scraping the text format. Input
+// may concatenate runs from several packages (as `make bench` does); each
+// result carries the package it came from. Only the standard library is
+// used.
 //
 // Usage:
 //
@@ -20,13 +22,15 @@ import (
 // Result is one benchmark line.
 type Result struct {
 	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
-// Document is the full converted run.
+// Document is the full converted run. Pkg is kept for single-package runs
+// (empty when the input mixes packages — read each result's pkg instead).
 type Document struct {
 	Goos    string   `json:"goos,omitempty"`
 	Goarch  string   `json:"goarch,omitempty"`
@@ -37,6 +41,8 @@ type Document struct {
 
 func main() {
 	doc := Document{Results: []Result{}}
+	pkgs := map[string]bool{}
+	cur := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -47,14 +53,19 @@ func main() {
 		case strings.HasPrefix(line, "goarch: "):
 			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
 		case strings.HasPrefix(line, "pkg: "):
-			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+			cur = strings.TrimPrefix(line, "pkg: ")
+			pkgs[cur] = true
 		case strings.HasPrefix(line, "cpu: "):
 			doc.CPU = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "Benchmark"):
 			if r, ok := parseLine(line); ok {
+				r.Pkg = cur
 				doc.Results = append(doc.Results, r)
 			}
 		}
+	}
+	if len(pkgs) == 1 {
+		doc.Pkg = cur
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

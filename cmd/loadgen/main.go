@@ -1,0 +1,188 @@
+// Command loadgen drives a running scoutd with synthetic predict traffic
+// and reports throughput and latency percentiles as JSON on stdout — the
+// measurement harness behind the serving numbers in README.md.
+//
+// Usage:
+//
+//	loadgen [-url http://localhost:8080] [-mode single|batch] [-batch 32]
+//	        [-c 4] [-duration 10s] [-seed 7] [-days 30] [-rate 6]
+//
+// The request corpus is generated from the same synthetic cloud simulator
+// scoutd trains on (matching -seed/-days/-rate reproduces its incident
+// titles and components; mismatches still score, they just answer through
+// the fallback paths more often). -mode single posts one incident per
+// /v1/predict call; -mode batch posts -batch incidents per
+// /v1/predict:batch call. Latency is per HTTP request either way, so
+// batch percentiles amortize -batch predictions per sample.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"scouts/internal/cloudsim"
+	"scouts/internal/metrics"
+	"scouts/internal/serving"
+)
+
+// Report is the JSON document loadgen emits.
+type Report struct {
+	Mode        string  `json:"mode"`
+	BatchSize   int     `json:"batch_size,omitempty"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int     `json:"requests"`
+	Predictions int     `json:"predictions"`
+	Errors      int     `json:"errors"`
+	QPS         float64 `json:"qps"`
+	PredPerSec  float64 `json:"predictions_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "scoutd base URL")
+	mode := flag.String("mode", "single", "single (/v1/predict) or batch (/v1/predict:batch)")
+	batch := flag.Int("batch", 32, "incidents per request in batch mode")
+	conc := flag.Int("c", 4, "concurrent client goroutines")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	seed := flag.Int64("seed", 7, "world seed for the request corpus")
+	days := flag.Int("days", 30, "days of synthetic incidents in the corpus")
+	rate := flag.Float64("rate", 6, "incidents per day in the corpus")
+	flag.Parse()
+
+	reqs := corpus(*seed, *days, *rate)
+	rep, err := runLoad(http.DefaultClient, *url, *mode, *batch, *conc, *duration, reqs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+// corpus builds the request payloads from a synthetic trace.
+func corpus(seed int64, days int, rate float64) []serving.PredictRequest {
+	trace := cloudsim.New(cloudsim.Params{Seed: seed, Days: days, IncidentsPerDay: rate}).Generate()
+	reqs := make([]serving.PredictRequest, 0, trace.Len())
+	for _, in := range trace.Incidents {
+		reqs = append(reqs, serving.PredictRequest{
+			Title: in.Title, Body: in.Body, Components: in.Components, Time: in.CreatedAt,
+		})
+	}
+	return reqs
+}
+
+// runLoad drives the server until the deadline and aggregates the report.
+// It is the whole measurement path minus flag parsing, so tests can run it
+// against an in-process httptest server.
+func runLoad(client *http.Client, baseURL, mode string, batch, conc int, duration time.Duration, reqs []serving.PredictRequest) (Report, error) {
+	if len(reqs) == 0 {
+		return Report{}, fmt.Errorf("empty request corpus")
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	var path string
+	var perReq int
+	// Pre-encode the payload rotation once: the generator must not spend
+	// its request budget on JSON encoding.
+	var payloads [][]byte
+	switch mode {
+	case "single":
+		path, perReq = "/v1/predict", 1
+		for _, r := range reqs {
+			b, err := json.Marshal(r)
+			if err != nil {
+				return Report{}, err
+			}
+			payloads = append(payloads, b)
+		}
+	case "batch":
+		if batch < 1 || batch > serving.MaxBatchItems {
+			return Report{}, fmt.Errorf("batch size %d out of range [1, %d]", batch, serving.MaxBatchItems)
+		}
+		path, perReq = "/v1/predict:batch", batch
+		for lo := 0; lo+batch <= len(reqs); lo += batch {
+			b, err := json.Marshal(serving.BatchPredictRequest{Items: reqs[lo : lo+batch]})
+			if err != nil {
+				return Report{}, err
+			}
+			payloads = append(payloads, b)
+		}
+		if len(payloads) == 0 {
+			return Report{}, fmt.Errorf("corpus of %d incidents is smaller than one batch of %d", len(reqs), batch)
+		}
+	default:
+		return Report{}, fmt.Errorf("unknown mode %q (want single or batch)", mode)
+	}
+
+	type worker struct {
+		latencies []float64 // milliseconds
+		errors    int
+	}
+	workers := make([]worker, conc)
+	deadline := time.Now().Add(duration)
+	done := make(chan int, conc)
+	for w := 0; w < conc; w++ {
+		go func(w int) {
+			defer func() { done <- w }()
+			wk := &workers[w]
+			for k := w; time.Now().Before(deadline); k++ {
+				body := payloads[k%len(payloads)]
+				start := time.Now()
+				resp, err := client.Post(baseURL+path, "application/json", bytes.NewReader(body))
+				if err != nil {
+					wk.errors++
+					continue
+				}
+				_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					wk.errors++
+					continue
+				}
+				wk.latencies = append(wk.latencies, float64(time.Since(start).Microseconds())/1000)
+			}
+		}(w)
+	}
+	for range workers {
+		<-done
+	}
+
+	rep := Report{Mode: mode, Concurrency: conc, DurationSec: duration.Seconds()}
+	if mode == "batch" {
+		rep.BatchSize = batch
+	}
+	var all []float64
+	for i := range workers {
+		all = append(all, workers[i].latencies...)
+		rep.Errors += workers[i].errors
+	}
+	rep.Requests = len(all)
+	rep.Predictions = len(all) * perReq
+	if duration > 0 {
+		rep.QPS = float64(rep.Requests) / duration.Seconds()
+		rep.PredPerSec = float64(rep.Predictions) / duration.Seconds()
+	}
+	// Quantile of an empty sample is NaN, which JSON cannot encode; an
+	// all-errors run reports zeros and a nonzero error count instead.
+	if len(all) > 0 {
+		sort.Float64s(all)
+		rep.P50Ms = metrics.Quantile(all, 0.50)
+		rep.P95Ms = metrics.Quantile(all, 0.95)
+		rep.P99Ms = metrics.Quantile(all, 0.99)
+	}
+	return rep, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"scouts/internal/cloudsim"
+	"scouts/internal/core"
+	"scouts/internal/serving"
+)
+
+// TestLoadgenSmoke drives runLoad — the whole tool minus flag parsing —
+// against an in-process httptest server in both modes. This is the `make
+// ci` smoke: it proves the generator's request encoding, both endpoints
+// and the report math still fit together, without timing anything.
+func TestLoadgenSmoke(t *testing.T) {
+	gen := cloudsim.New(cloudsim.Params{Seed: 5, Days: 30, IncidentsPerDay: 6})
+	trace := gen.Generate()
+	cfg, err := core.ParseConfig(core.DefaultPhyNetConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := serving.NewStore()
+	tr := &serving.Trainer{Store: store}
+	if _, _, err := tr.TrainAndPublish(core.TrainOptions{
+		Config: cfg, Topology: gen.Topology(), Source: gen.Telemetry(),
+		Incidents: trace.Incidents, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := serving.NewServer(gen.Topology(), gen.Telemetry(), store, nil)
+	if err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reqs := corpus(5, 30, 6)
+	if len(reqs) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, mode := range []string{"single", "batch"} {
+		rep, err := runLoad(ts.Client(), ts.URL, mode, 8, 2, 300*time.Millisecond, reqs)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if rep.Errors != 0 {
+			t.Fatalf("%s: %d request errors", mode, rep.Errors)
+		}
+		if rep.Requests == 0 || rep.QPS <= 0 {
+			t.Fatalf("%s: no throughput recorded: %+v", mode, rep)
+		}
+		if rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms {
+			t.Fatalf("%s: implausible latency summary: %+v", mode, rep)
+		}
+		if mode == "batch" && rep.Predictions != rep.Requests*8 {
+			t.Fatalf("batch: predictions=%d requests=%d", rep.Predictions, rep.Requests)
+		}
+		if _, err := json.Marshal(rep); err != nil {
+			t.Fatalf("%s: report not JSON-encodable: %v", mode, err)
+		}
+	}
+
+	if _, err := runLoad(ts.Client(), ts.URL, "bogus", 8, 1, time.Millisecond, reqs); err == nil {
+		t.Fatal("unknown mode should error")
+	}
+}

@@ -11,8 +11,10 @@
 //	GET  /v1/model
 //	POST /v1/reload
 //	POST /v1/predict   {"title": ..., "body": ..., "components": [...], "time": h}
+//	POST /v1/predict:batch   {"items": [<predict request>, ...]} (max 256 items)
 //
-// The server is configured for exposure to untrusted clients (header and
+// The server is configured for exposure to untrusted clients (request
+// bodies are size-capped, unknown JSON fields rejected, and header and
 // idle timeouts bound slow-client resource usage) and drains gracefully on
 // SIGINT/SIGTERM so in-flight predictions complete before exit.
 //

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"scouts/internal/incident"
+)
+
+// TestPredictBatchMatchesSingle pins the batch contract: PredictBatch
+// answers exactly — verdict, confidence, components, explanation — what
+// Predict answers per item, across all model paths (exclude rule,
+// component-gate fallback, CPD+ and RF).
+func TestPredictBatchMatchesSingle(t *testing.T) {
+	f := getFixture(t)
+	ins := f.test[:120]
+	// Append gate-exercising synthetics so the batch mixes every path.
+	ins = append(ins,
+		&incident.Incident{ID: "excl", Title: "planned maintenance for rack", Body: "tor1.c1.dc1 will be upgraded", CreatedAt: 1000},
+		&incident.Incident{ID: "empty", Title: "Customer cannot log in", Body: "nothing specific", CreatedAt: 1000},
+	)
+	batch := f.scout.PredictIncidentBatch(ins)
+	if len(batch) != len(ins) {
+		t.Fatalf("batch answered %d of %d items", len(batch), len(ins))
+	}
+	for i, in := range ins {
+		single := f.scout.PredictIncident(in)
+		if !reflect.DeepEqual(batch[i], single) {
+			t.Fatalf("incident %s: batch %+v != single %+v", in.ID, batch[i], single)
+		}
+	}
+	if out := f.scout.PredictBatch(nil); len(out) != 0 {
+		t.Fatalf("empty batch should answer empty, got %v", out)
+	}
+}
+
+// TestPredictBatchConcurrent exercises the vector pool under concurrent
+// batches (run under -race): pooled vectors must never be shared between
+// in-flight predictions.
+func TestPredictBatchConcurrent(t *testing.T) {
+	f := getFixture(t)
+	ins := f.test[:60]
+	want := f.scout.PredictIncidentBatch(ins)
+	done := make(chan []Prediction, 4)
+	for g := 0; g < 4; g++ {
+		go func() { done <- f.scout.PredictIncidentBatch(ins) }()
+	}
+	for g := 0; g < 4; g++ {
+		got := <-done
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("concurrent batches diverged")
+		}
+	}
+}
+
+// TestPredictRFBoundaryGuard covers the Scout-boundary dimension check: a
+// cached vector from a different feature layout defers to legacy routing
+// instead of panicking in tree traversal.
+func TestPredictRFBoundaryGuard(t *testing.T) {
+	f := getFixture(t)
+	p := f.scout.predictRF([]float64{1, 2, 3}, Extraction{})
+	if p.Verdict != VerdictFallback || p.Usable() {
+		t.Fatalf("mismatched vector should fall back, got %+v", p)
+	}
+	if p.Explanation == "" {
+		t.Fatal("boundary rejection should explain itself")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"scouts/internal/metrics"
 	"scouts/internal/ml/cpd"
@@ -103,6 +104,10 @@ type FeatureBuilder struct {
 	// groupSlots lists the vector indices belonging to each group name,
 	// used for mean imputation when a monitoring system disappears.
 	groupSlots map[string][]int
+	// merge pools the normalized-series scratch buffer FeaturizeInto
+	// reduces each feature group through, so concurrent featurization does
+	// not regrow one per (request, group).
+	merge sync.Pool
 }
 
 // NewFeatureBuilder computes the feature layout from the configuration and
@@ -331,7 +336,23 @@ func (fb *FeatureBuilder) contributors(ex Extraction, typ topology.ComponentType
 // normalized against the preceding window [t-2T, t-T) so that features
 // capture *changes* that indicate a failure (§5.2).
 func (fb *FeatureBuilder) Featurize(ex Extraction, t float64) []float64 {
-	x := make([]float64, len(fb.names))
+	return fb.FeaturizeInto(make([]float64, len(fb.names)), ex, t)
+}
+
+// FeaturizeInto is Featurize writing into a caller-owned vector — the
+// pooled form the batch and serving paths use so scoring an incident
+// produces no per-request feature-vector garbage. x must come from the
+// same layout (len(FeatureNames()) cells); a mismatched slice is replaced
+// by a fresh one. Every slot is overwritten, so a dirty pooled vector is
+// fine. Returns the filled vector.
+func (fb *FeatureBuilder) FeaturizeInto(x []float64, ex Extraction, t float64) []float64 {
+	if len(x) != len(fb.names) {
+		x = make([]float64, len(fb.names))
+	}
+	mp, _ := fb.merge.Get().(*[]float64)
+	if mp == nil {
+		mp = new([]float64)
+	}
 	T := fb.cfg.LookbackHours
 	slot := 0
 	for _, typ := range fb.types {
@@ -351,7 +372,7 @@ func (fb *FeatureBuilder) Featurize(ex Extraction, t float64) []float64 {
 				slot++
 				continue
 			}
-			var merged []float64
+			merged := (*mp)[:0]
 			for _, d := range g.datasets {
 				for _, comp := range comps {
 					cur := fb.source.SeriesWindow(d.Name, comp, t-T, t)
@@ -365,13 +386,14 @@ func (fb *FeatureBuilder) Featurize(ex Extraction, t float64) []float64 {
 					merged = appendNormalized(merged, cur, bs, ok)
 				}
 			}
-			s := metrics.Summarize(merged)
-			copy(x[slot:slot+len(metrics.SummaryNames)], s.Vector())
+			metrics.Summarize(merged).VectorInto(x[slot : slot+len(metrics.SummaryNames)])
 			slot += len(metrics.SummaryNames)
+			*mp = merged // keep the grown capacity for the next group
 		}
 		x[slot] = float64(len(ex.ByType[typ]))
 		slot++
 	}
+	fb.merge.Put(mp)
 	return x
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"slices"
 	"strings"
+	"sync"
 
 	"scouts/internal/incident"
 	"scouts/internal/metrics"
@@ -104,6 +105,11 @@ type Scout struct {
 	// detector holds the change-point parameters used at train time so
 	// cached CPD+ vectors stay consistent at inference.
 	detector cpd.Params
+	// vecs pools the transient feature vectors of the predict paths: a
+	// vector lives only for the span of one prediction (nothing retains
+	// it), so pooling makes request scoring free of per-request
+	// feature-vector garbage. Scouts are always used by pointer.
+	vecs sync.Pool
 }
 
 // ErrNoTrainingIncidents is returned when Train is given no incidents.
@@ -287,9 +293,82 @@ func Train(opt TrainOptions) (*Scout, error) {
 // Predict classifies one incident at trigger time t using the text and the
 // structured component mentions available at that time. The end-to-end
 // pipeline of §5.3: exclusion rules → component gate → model selector →
-// RF or CPD+ → answer with confidence and explanation.
+// RF or CPD+ → answer with confidence and explanation. The RF feature
+// vector is drawn from the Scout's pool, so a prediction produces no
+// per-request feature-vector garbage.
 func (s *Scout) Predict(title, body string, mentioned []string, t float64) Prediction {
 	ex := s.fb.Extract(title, body, mentioned)
+	if p, done := s.gatePrediction(ex); done {
+		return p
+	}
+	if useCPD, pWrong := s.selector.UseCPD(title + "\n" + body); useCPD {
+		return s.predictCPDPath(ex, t, pWrong)
+	}
+	x := s.featurizeWithImputationInto(s.getVec(), ex, t)
+	p := s.predictRF(x, ex)
+	s.putVec(x)
+	return p
+}
+
+// BatchRequest is one incident of a batch prediction: the same inputs
+// Predict takes.
+type BatchRequest struct {
+	Title      string
+	Body       string
+	Components []string
+	Time       float64
+}
+
+// PredictBatch scores a batch of incidents, answering exactly what
+// Predict would answer for each item — the gates, the model selector and
+// the explanations are identical — but routes every RF-bound item through
+// one tree-major forest.PredictProbBatch pass over pooled feature
+// vectors, so a batch streams the flat forest once instead of once per
+// incident and allocates no per-item feature vector.
+func (s *Scout) PredictBatch(reqs []BatchRequest) []Prediction {
+	out := make([]Prediction, len(reqs))
+	// Indices and pooled vectors of the items the supervised model scores.
+	var rfIdx []int
+	var xs [][]float64
+	for i, r := range reqs {
+		ex := s.fb.Extract(r.Title, r.Body, r.Components)
+		if p, done := s.gatePrediction(ex); done {
+			out[i] = p
+			continue
+		}
+		if useCPD, pWrong := s.selector.UseCPD(r.Title + "\n" + r.Body); useCPD {
+			out[i] = s.predictCPDPath(ex, r.Time, pWrong)
+			continue
+		}
+		rfIdx = append(rfIdx, i)
+		xs = append(xs, s.featurizeWithImputationInto(s.getVec(), ex, r.Time))
+		out[i].Components = ex.All()
+	}
+	if len(rfIdx) == 0 {
+		return out
+	}
+	probs := s.rf.PredictProbBatch(xs, nil)
+	for k, i := range rfIdx {
+		p := probs[k]
+		label := p >= 0.5
+		conf := p
+		if !label {
+			conf = 1 - p
+		}
+		out[i].Verdict = verdictFor(label)
+		out[i].Responsible = label
+		out[i].Confidence = conf
+		out[i].Model = "rf"
+		out[i].Explanation = s.explainRF(xs[k], label)
+		s.putVec(xs[k])
+	}
+	return out
+}
+
+// gatePrediction answers the pre-model gates of the §5.3 pipeline:
+// exclusion rules and the component gate. done is false when the incident
+// should proceed to a model.
+func (s *Scout) gatePrediction(ex Extraction) (p Prediction, done bool) {
 	if ex.Excluded {
 		return Prediction{
 			Verdict:     VerdictExcluded,
@@ -297,47 +376,85 @@ func (s *Scout) Predict(title, body string, mentioned []string, t float64) Predi
 			Confidence:  1,
 			Model:       "exclude-rule",
 			Explanation: "an operator EXCLUDE rule marks this incident out of scope for " + s.cfg.Team,
-		}
+		}, true
 	}
 	if ex.Empty {
 		return Prediction{
 			Verdict:     VerdictFallback,
 			Model:       "none",
 			Explanation: "no components could be extracted from the incident; deferring to the legacy routing process",
-		}
+		}, true
 	}
-	comps := ex.All()
+	return Prediction{}, false
+}
 
-	useCPD, pWrong := s.selector.UseCPD(title + "\n" + body)
-	if useCPD {
-		label, conf, why := s.cpdPlus.Predict(s.fb.CPDInput(ex, t))
+// predictCPDPath answers through CPD+ for incidents the model selector
+// flags as new/rare.
+func (s *Scout) predictCPDPath(ex Extraction, t, pWrong float64) Prediction {
+	label, conf, why := s.cpdPlus.Predict(s.fb.CPDInput(ex, t))
+	return Prediction{
+		Verdict:     verdictFor(label),
+		Responsible: label,
+		Confidence:  conf,
+		Model:       "cpd+",
+		Components:  ex.All(),
+		Explanation: fmt.Sprintf("model selector flagged this as a new/rare incident (P(RF wrong)=%.2f); CPD+: %s", pWrong, why),
+	}
+}
+
+// predictRF answers through the supervised model, validating the vector
+// against the trained layout at the Scout boundary: a mismatched vector
+// (a feature cache built for a different configuration, a corrupted
+// snapshot) defers to legacy routing instead of reaching — and formerly
+// panicking in — tree traversal.
+func (s *Scout) predictRF(x []float64, ex Extraction) Prediction {
+	if len(x) != len(s.rf.Features()) {
 		return Prediction{
-			Verdict:     verdictFor(label),
-			Responsible: label,
-			Confidence:  conf,
-			Model:       "cpd+",
-			Components:  comps,
-			Explanation: fmt.Sprintf("model selector flagged this as a new/rare incident (P(RF wrong)=%.2f); CPD+: %s", pWrong, why),
+			Verdict: VerdictFallback,
+			Model:   "none",
+			Explanation: fmt.Sprintf("feature vector has %d features but the model was trained on %d; deferring to the legacy routing process",
+				len(x), len(s.rf.Features())),
 		}
 	}
-
-	x := s.featurizeWithImputation(ex, t)
 	label, conf := s.rf.Predict(x)
-	expl := s.explainRF(x, label)
 	return Prediction{
 		Verdict:     verdictFor(label),
 		Responsible: label,
 		Confidence:  conf,
 		Model:       "rf",
-		Components:  comps,
-		Explanation: expl,
+		Components:  ex.All(),
+		Explanation: s.explainRF(x, label),
 	}
 }
+
+// getVec draws a feature vector from the pool (or allocates the first
+// time). Pooled vectors are dirty; FeaturizeInto overwrites every slot.
+func (s *Scout) getVec() []float64 {
+	if v, ok := s.vecs.Get().(*[]float64); ok {
+		return *v
+	}
+	return make([]float64, len(s.fb.names))
+}
+
+// putVec returns a vector predictRF/explainRF have finished with.
+func (s *Scout) putVec(x []float64) { s.vecs.Put(&x) }
 
 // PredictIncident classifies an incident at its creation time using the
 // initially-known component mentions.
 func (s *Scout) PredictIncident(in *incident.Incident) Prediction {
 	return s.Predict(in.Title, in.Body, in.InitialComponents, in.CreatedAt)
+}
+
+// PredictIncidentBatch classifies incidents at their creation time through
+// the batch path; element i is exactly PredictIncident(ins[i]). It
+// implements evaluate.BatchPredictor, so the §7 evaluation drivers stream
+// the forest tree-major instead of per incident.
+func (s *Scout) PredictIncidentBatch(ins []*incident.Incident) []Prediction {
+	reqs := make([]BatchRequest, len(ins))
+	for i, in := range ins {
+		reqs[i] = BatchRequest{Title: in.Title, Body: in.Body, Components: in.InitialComponents, Time: in.CreatedAt}
+	}
+	return s.PredictBatch(reqs)
 }
 
 // PredictCached classifies an incident at creation time, reusing (and
@@ -390,11 +507,7 @@ func (s *Scout) PredictCached(in *incident.Incident, cache *FeatureCache) Predic
 			Explanation: fmt.Sprintf("model selector flagged this as new/rare (P(RF wrong)=%.2f); CPD+: %s", pWrong, why),
 		}
 	}
-	label, conf := s.rf.Predict(e.x)
-	return Prediction{
-		Verdict: verdictFor(label), Responsible: label, Confidence: conf,
-		Model: "rf", Components: e.ex.All(), Explanation: s.explainRF(e.x, label),
-	}
+	return s.predictRF(e.x, e.ex)
 }
 
 func verdictFor(responsible bool) Verdict {
@@ -404,12 +517,12 @@ func verdictFor(responsible bool) Verdict {
 	return VerdictNotResponsible
 }
 
-// featurizeWithImputation builds the feature vector, substituting training
-// means for feature groups whose monitoring systems are currently
-// unavailable — exactly what the serving system does when a monitor fails
-// alongside the incident (§6).
-func (s *Scout) featurizeWithImputation(ex Extraction, t float64) []float64 {
-	x := s.fb.Featurize(ex, t)
+// featurizeWithImputationInto builds the feature vector in x (usually a
+// pooled vector), substituting training means for feature groups whose
+// monitoring systems are currently unavailable — exactly what the serving
+// system does when a monitor fails alongside the incident (§6).
+func (s *Scout) featurizeWithImputationInto(x []float64, ex Extraction, t float64) []float64 {
+	x = s.fb.FeaturizeInto(x, ex, t)
 	available := map[string]bool{}
 	for _, d := range s.fb.source.Datasets() {
 		available[d.Name] = true
@@ -470,12 +583,18 @@ func (s *Scout) Evaluate(ins []*incident.Incident) metrics.Confusion {
 }
 
 // EvaluateWorkers is Evaluate with an explicit worker count (0 selects
-// runtime.GOMAXPROCS(0)). Predictions fan out in parallel — a trained
-// Scout is read-only at inference — and the confusion matrix is folded
+// runtime.GOMAXPROCS(0)). Predictions fan out in parallel over 64-incident
+// batch chunks — a trained Scout is read-only at inference, and each chunk
+// streams the flat forest tree-major — and the confusion matrix is folded
 // sequentially in incident order.
 func (s *Scout) EvaluateWorkers(ins []*incident.Incident, workers int) metrics.Confusion {
-	preds := parallel.Map(workers, len(ins), func(i int) Prediction {
-		return s.PredictIncident(ins[i])
+	const chunk = 64
+	preds := make([]Prediction, len(ins))
+	chunks := (len(ins) + chunk - 1) / chunk
+	parallel.For(workers, chunks, func(c int) {
+		lo := c * chunk
+		hi := min(lo+chunk, len(ins))
+		copy(preds[lo:hi], s.PredictIncidentBatch(ins[lo:hi]))
 	})
 	var c metrics.Confusion
 	for i, p := range preds {
@@ -505,12 +624,10 @@ func (s *Scout) PredictWithModel(model, title, body string, mentioned []string, 
 			Model: "cpd+", Components: ex.All(), Explanation: why,
 		}
 	}
-	x := s.featurizeWithImputation(ex, t)
-	label, conf := s.rf.Predict(x)
-	return Prediction{
-		Verdict: verdictFor(label), Responsible: label, Confidence: conf,
-		Model: "rf", Components: ex.All(), Explanation: s.explainRF(x, label),
-	}
+	x := s.featurizeWithImputationInto(s.getVec(), ex, t)
+	p := s.predictRF(x, ex)
+	s.putVec(x)
+	return p
 }
 
 // SetDecider swaps the model-selector decider — the Figure 8 experiment

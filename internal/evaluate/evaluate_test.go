@@ -28,6 +28,22 @@ func (f fixedPredictor) PredictIncident(in *incident.Incident) core.Prediction {
 	return core.Prediction{Verdict: v, Responsible: resp, Confidence: 0.9, Model: "rf"}
 }
 
+// batchedPredictor wraps fixedPredictor with the BatchPredictor interface,
+// standing in for a trained Scout's chunked path.
+type batchedPredictor struct {
+	fixedPredictor
+	calls int
+}
+
+func (b *batchedPredictor) PredictIncidentBatch(ins []*incident.Incident) []core.Prediction {
+	b.calls++
+	out := make([]core.Prediction, len(ins))
+	for i, in := range ins {
+		out[i] = b.PredictIncident(in)
+	}
+	return out
+}
+
 const team = "PhyNet"
 
 func mkIncident(id string, owner string, hops ...incident.Hop) *incident.Incident {
@@ -188,6 +204,40 @@ func TestRunWorkersDeterministic(t *testing.T) {
 	// And the legacy entry point is the same computation.
 	if seq := Run(p, ins, team, baseline, rand.New(rand.NewSource(42))); !reflect.DeepEqual(want, seq) {
 		t.Fatal("Run and RunWorkers disagree")
+	}
+}
+
+// TestRunWorkersBatchPathEquivalent pins that a predictor advertising the
+// batched interface is scored identically to the per-incident path, at any
+// worker count, and that the batched path is actually taken.
+func TestRunWorkersBatchPathEquivalent(t *testing.T) {
+	answers := map[string]bool{}
+	var ins []*incident.Incident
+	for i := 0; i < 150; i++ { // > 2 chunks of evalBatchSize
+		id := fmt.Sprintf("in-%d", i)
+		if i%2 == 0 {
+			ins = append(ins, mkIncident(id, team,
+				incident.Hop{Team: "Storage", Enter: 0, Exit: 2},
+				incident.Hop{Team: team, Enter: 2, Exit: 3}))
+			answers[id] = i%4 == 0
+		} else {
+			ins = append(ins, mkIncident(id, "DNS",
+				incident.Hop{Team: "DNS", Enter: 0, Exit: 2}))
+			answers[id] = i%3 == 0
+		}
+	}
+	baseline := []float64{0.1, 0.3, 0.7}
+	single := fixedPredictor{answers: answers}
+	want := RunWorkers(single, ins, team, baseline, rand.New(rand.NewSource(7)), 1)
+	for _, w := range []int{1, 4} {
+		bp := &batchedPredictor{fixedPredictor: single}
+		got := RunWorkers(bp, ins, team, baseline, rand.New(rand.NewSource(7)), w)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d batched result differs:\n%+v\nvs\n%+v", w, got, want)
+		}
+		if wantCalls := (len(ins) + evalBatchSize - 1) / evalBatchSize; bp.calls != wantCalls {
+			t.Fatalf("workers=%d made %d batch calls, want %d", w, bp.calls, wantCalls)
+		}
 	}
 }
 

@@ -218,7 +218,18 @@ func Summarize(xs []float64) SummaryStats {
 
 // Vector flattens the statistics in SummaryNames order.
 func (s SummaryStats) Vector() []float64 {
-	return []float64{s.Mean, s.Std, s.Min, s.Max, s.P1, s.P10, s.P25, s.P50, s.P75, s.P90, s.P99}
+	out := make([]float64, len(SummaryNames))
+	s.VectorInto(out)
+	return out
+}
+
+// VectorInto writes the statistics into dst (len(SummaryNames) cells) in
+// SummaryNames order — the allocation-free form the featurization hot path
+// uses to fill pooled feature vectors in place.
+func (s SummaryStats) VectorInto(dst []float64) {
+	dst[0], dst[1], dst[2], dst[3] = s.Mean, s.Std, s.Min, s.Max
+	dst[4], dst[5], dst[6], dst[7] = s.P1, s.P10, s.P25, s.P50
+	dst[8], dst[9], dst[10] = s.P75, s.P90, s.P99
 }
 
 // Euclidean returns the Euclidean distance between two feature vectors.

@@ -13,6 +13,7 @@ package forest
 import (
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"slices"
 	"sync"
@@ -72,7 +73,15 @@ type Forest struct {
 	features []string
 	imp      []float64 // normalized mean decrease in impurity
 	params   Params
+	// flat is the inference-time flattened SoA view of trees, derived once
+	// at Train/UnmarshalJSON time (see flat.go). trees remain the training
+	// representation and the snapshot format.
+	flat *flatForest
 }
+
+// logf reports the forest's defensive error paths (dimension-mismatched
+// inputs). Swappable so tests can assert on — or silence — it.
+var logf = log.Printf
 
 // ErrEmptyTrainingSet is returned when Train is called with no samples.
 var ErrEmptyTrainingSet = errors.New("forest: empty training set")
@@ -162,6 +171,7 @@ func Train(d *mlcore.Dataset, p Params) (*Forest, error) {
 			f.imp[i] /= total
 		}
 	}
+	f.flat = newFlatForest(f.trees)
 	return f, nil
 }
 
@@ -172,8 +182,66 @@ func Trainer(p Params) mlcore.Trainer {
 	})
 }
 
-// PredictProb returns the forest's positive-class probability for x.
+// PredictProb returns the forest's positive-class probability for x,
+// traversing the flat SoA kernel (flat.go). A vector of the wrong
+// dimension answers the training prior with a logged error instead of
+// panicking deep in traversal.
 func (f *Forest) PredictProb(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	if len(x) != len(f.features) {
+		logf("forest: dimension mismatch: got %d features, trained on %d; answering the training prior", len(x), len(f.features))
+		return f.flat.prior
+	}
+	return f.flat.predictProb(x)
+}
+
+// PredictProbBatch scores every vector of xs with one tree-major pass over
+// the flat kernel: each tree's node arrays stay cache-hot across the whole
+// batch. Results are written into out when it has the capacity (the
+// serving path passes a pooled buffer for a zero-allocation call) and the
+// filled slice is returned. Every probability is bit-identical to the
+// corresponding PredictProb call; dimension-mismatched batches fall back
+// to the guarded per-vector path.
+func (f *Forest) PredictProbBatch(xs [][]float64, out []float64) []float64 {
+	if cap(out) >= len(xs) {
+		out = out[:len(xs)]
+		for i := range out {
+			out[i] = 0
+		}
+	} else {
+		out = make([]float64, len(xs))
+	}
+	if len(f.trees) == 0 || len(xs) == 0 {
+		return out
+	}
+	for _, x := range xs {
+		if len(x) != len(f.features) {
+			for i, x := range xs {
+				out[i] = f.PredictProb(x)
+			}
+			return out
+		}
+	}
+	f.flat.predictBatch(xs, out)
+	return out
+}
+
+// Prior returns the forest's training prior: the mean root-node positive
+// fraction across trees — the probability the forest answers when it
+// cannot trust the input vector.
+func (f *Forest) Prior() float64 {
+	if f.flat == nil {
+		return 0
+	}
+	return f.flat.prior
+}
+
+// PredictProbPointer is the retained pointer-tree traversal. It exists for
+// the golden equivalence tests and the kernel benchmarks only — the flat
+// kernel's PredictProb is bit-identical to it (see DESIGN.md §8).
+func (f *Forest) PredictProbPointer(x []float64) float64 {
 	if len(f.trees) == 0 {
 		return 0
 	}
@@ -213,18 +281,45 @@ type Contribution struct {
 }
 
 // Explain decomposes the prediction for x as prior + sum(contributions)
-// following Palczewska et al. It returns the prior and the per-feature
-// contributions sorted by decreasing absolute value.
+// following Palczewska et al., traversing the flat SoA kernel. It returns
+// the prior and the per-feature contributions sorted by decreasing
+// absolute value. A dimension-mismatched vector answers the training prior
+// with no contributions (and a logged error) instead of panicking.
 func (f *Forest) Explain(x []float64) (prior float64, contribs []Contribution) {
-	raw := make([]float64, len(f.features))
 	if len(f.trees) == 0 {
 		return 0, nil
 	}
+	if len(x) != len(f.features) {
+		logf("forest: dimension mismatch in Explain: got %d features, trained on %d; answering the training prior", len(x), len(f.features))
+		return f.flat.prior, nil
+	}
+	raw := make([]float64, len(f.features))
+	for _, r := range f.flat.roots {
+		prior += f.flat.contributions(r, x, raw)
+	}
+	return f.finishExplain(prior, raw)
+}
+
+// ExplainPointer is Explain over the retained pointer-tree traversal,
+// kept — like PredictProbPointer — for the golden equivalence tests and
+// the kernel benchmarks only.
+func (f *Forest) ExplainPointer(x []float64) (prior float64, contribs []Contribution) {
+	if len(f.trees) == 0 {
+		return 0, nil
+	}
+	raw := make([]float64, len(f.features))
 	for _, t := range f.trees {
 		prior += t.contributions(x, raw)
 	}
+	return f.finishExplain(prior, raw)
+}
+
+// finishExplain normalizes the accumulated prior and raw contributions and
+// sorts them by decreasing absolute value — shared by both kernels so
+// their outputs can only differ if the traversals themselves do.
+func (f *Forest) finishExplain(prior float64, raw []float64) (float64, []Contribution) {
 	prior /= float64(len(f.trees))
-	contribs = make([]Contribution, 0, len(raw))
+	contribs := make([]Contribution, 0, len(raw))
 	for i, v := range raw {
 		v /= float64(len(f.trees))
 		if v != 0 {

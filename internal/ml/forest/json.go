@@ -63,5 +63,8 @@ func (f *Forest) UnmarshalJSON(b []byte) error {
 		}
 		f.trees = append(f.trees, t)
 	}
+	// Snapshots carry only the pointer trees; the inference-time flat SoA
+	// view is derived here, exactly as Train derives it.
+	f.flat = newFlatForest(f.trees)
 	return nil
 }

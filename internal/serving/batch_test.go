@@ -1,0 +1,282 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"scouts/internal/core"
+)
+
+func postJSON(t testing.TB, ts *httptest.Server, path string, v any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// TestStoreSnapshotIsolation is the regression test for the snapshot
+// aliasing bug: Put/Get/Latest used to hand out the same backing array, so
+// a caller scribbling on its buffer after Put (or on a Get result) would
+// corrupt the stored model for every later Reload.
+func TestStoreSnapshotIsolation(t *testing.T) {
+	st := NewStore()
+	buf := []byte("pristine snapshot")
+	st.Put("PhyNet", buf)
+	copy(buf, "CORRUPTED")
+	if m, _ := st.Latest(); string(m.Snapshot) != "pristine snapshot" {
+		t.Fatalf("Put aliased the caller's buffer: %q", m.Snapshot)
+	}
+	m1, _ := st.Get(1)
+	copy(m1.Snapshot, "SCRIBBLE!")
+	if m, _ := st.Get(1); string(m.Snapshot) != "pristine snapshot" {
+		t.Fatalf("Get handed out store-internal bytes: %q", m.Snapshot)
+	}
+	m2, _ := st.Latest()
+	copy(m2.Snapshot, "SCRIBBLE!")
+	if m, _ := st.Latest(); string(m.Snapshot) != "pristine snapshot" {
+		t.Fatalf("Latest handed out store-internal bytes: %q", m.Snapshot)
+	}
+}
+
+// TestBatchPredictMatchesSingle pins the batch endpoint contract: each
+// item's prediction is exactly what /v1/predict answers for it.
+func TestBatchPredictMatchesSingle(t *testing.T) {
+	srv, _, _ := trainAndServe(t)
+	_, log, _ := testEnv(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var breq BatchPredictRequest
+	for _, in := range log.Incidents[len(log.Incidents)-16:] {
+		breq.Items = append(breq.Items, PredictRequest{
+			Title: in.Title, Body: in.Body, Components: in.Components, Time: in.CreatedAt,
+		})
+	}
+	resp, body := postJSON(t, ts, "/v1/predict:batch", breq)
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var bresp BatchPredictResponse
+	if err := json.Unmarshal(body, &bresp); err != nil {
+		t.Fatal(err)
+	}
+	if bresp.ModelVersion != 1 || len(bresp.Results) != len(breq.Items) {
+		t.Fatalf("batch response shape: version=%d results=%d", bresp.ModelVersion, len(bresp.Results))
+	}
+	for i, item := range breq.Items {
+		sresp, sbody := postJSON(t, ts, "/v1/predict", item)
+		if sresp.StatusCode != 200 {
+			t.Fatalf("single status %d: %s", sresp.StatusCode, sbody)
+		}
+		var single PredictResponse
+		if err := json.Unmarshal(sbody, &single); err != nil {
+			t.Fatal(err)
+		}
+		if bresp.Results[i].Error != "" || bresp.Results[i].Prediction == nil {
+			t.Fatalf("item %d: unexpected error %q", i, bresp.Results[i].Error)
+		}
+		if !reflect.DeepEqual(*bresp.Results[i].Prediction, single) {
+			t.Fatalf("item %d: batch %+v != single %+v", i, *bresp.Results[i].Prediction, single)
+		}
+	}
+}
+
+func TestBatchPredictRequestValidation(t *testing.T) {
+	srv, _, _ := trainAndServe(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Empty batch fails the whole call.
+	resp, body := postJSON(t, ts, "/v1/predict:batch", BatchPredictRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Too many items fails the whole call with 413.
+	over := BatchPredictRequest{Items: make([]PredictRequest, MaxBatchItems+1)}
+	for i := range over.Items {
+		over.Items[i] = PredictRequest{Title: "t", Time: 1}
+	}
+	resp, body = postJSON(t, ts, "/v1/predict:batch", over)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Unknown top-level field is rejected: a typo must not silently drop
+	// the entire payload.
+	resp2, err := http.Post(ts.URL+"/v1/predict:batch", "application/json",
+		strings.NewReader(`{"itmes": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", resp2.StatusCode)
+	}
+}
+
+// TestBatchPredictPartialFailure: one invalid item yields a per-item error
+// in a 200 response; the valid items are still scored.
+func TestBatchPredictPartialFailure(t *testing.T) {
+	srv, _, _ := trainAndServe(t)
+	_, log, _ := testEnv(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	good := log.Incidents[len(log.Incidents)-1]
+	breq := BatchPredictRequest{Items: []PredictRequest{
+		{Title: good.Title, Body: good.Body, Components: good.Components, Time: good.CreatedAt},
+		{Title: "missing time"}, // Time == 0: invalid
+		{Title: good.Title, Body: good.Body, Components: good.Components, Time: good.CreatedAt},
+	}}
+	resp, body := postJSON(t, ts, "/v1/predict:batch", breq)
+	if resp.StatusCode != 200 {
+		t.Fatalf("partial batch should 200, got %d: %s", resp.StatusCode, body)
+	}
+	var bresp BatchPredictResponse
+	if err := json.Unmarshal(body, &bresp); err != nil {
+		t.Fatal(err)
+	}
+	if len(bresp.Results) != 3 {
+		t.Fatalf("results: %d", len(bresp.Results))
+	}
+	if bresp.Results[0].Prediction == nil || bresp.Results[2].Prediction == nil {
+		t.Fatal("valid items should still be scored")
+	}
+	if bresp.Results[1].Prediction != nil || bresp.Results[1].Error == "" {
+		t.Fatalf("invalid item should carry an error, got %+v", bresp.Results[1])
+	}
+	if !reflect.DeepEqual(bresp.Results[0].Prediction, bresp.Results[2].Prediction) {
+		t.Fatal("identical items answered differently")
+	}
+}
+
+func TestPredictBodyCap(t *testing.T) {
+	srv, _, _ := trainAndServe(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	huge, err := json.Marshal(PredictRequest{
+		Title: "t", Body: strings.Repeat("x", maxPredictBody+1), Time: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body should 413, got %d", resp.StatusCode)
+	}
+
+	resp2, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		strings.NewReader(`{"title": "t", "time": 1, "tiem": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field should 400, got %d", resp2.StatusCode)
+	}
+}
+
+// TestBatchPredictDuringHotSwap runs batches concurrently with model
+// reloads (run under -race). Every response must be internally consistent:
+// all items in one batch answered by one model version.
+func TestBatchPredictDuringHotSwap(t *testing.T) {
+	srv, store, _ := trainAndServe(t)
+	gen, log, cfg := testEnv(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	tr := &Trainer{Store: store}
+	if _, _, err := tr.TrainAndPublish(core.TrainOptions{
+		Config: cfg, Topology: gen.Topology(), Source: gen.Telemetry(),
+		Incidents: log.Incidents[:320], Seed: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var breq BatchPredictRequest
+	for _, in := range log.Incidents[len(log.Incidents)-8:] {
+		breq.Items = append(breq.Items, PredictRequest{
+			Title: in.Title, Body: in.Body, Components: in.Components, Time: in.CreatedAt,
+		})
+	}
+	payload, err := json.Marshal(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				resp, err := http.Post(ts.URL+"/v1/predict:batch", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var br BatchPredictResponse
+				err = json.NewDecoder(resp.Body).Decode(&br)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode != 200 {
+					errc <- fmt.Errorf("batch status %d", resp.StatusCode)
+					return
+				}
+				for _, res := range br.Results {
+					if res.Prediction == nil {
+						errc <- fmt.Errorf("missing prediction: %+v", res)
+						return
+					}
+					if res.Prediction.ModelVersion != br.ModelVersion {
+						errc <- fmt.Errorf("mid-batch version skew: item v%d, batch v%d",
+							res.Prediction.ModelVersion, br.ModelVersion)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := srv.Reload(); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServingPredict times the full /v1/predict handler path —
+// decode, featurize, forest inference, explanation, encode — without a
+// network socket (httptest request/recorder only). allocs/op is the number
+// that matters: the serving hot path must not produce per-request garbage
+// beyond what JSON decoding of the request inherently costs.
+func BenchmarkServingPredict(b *testing.B) {
+	srv, _, _ := trainAndServe(b)
+	_, log, _ := testEnv(b)
+	h := srv.Handler()
+
+	in := log.Incidents[len(log.Incidents)-10]
+	body, err := json.Marshal(PredictRequest{
+		Title: in.Title, Body: in.Body, Components: in.Components, Time: in.CreatedAt,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rd := bytes.NewReader(body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(body)
+		req := httptest.NewRequest("POST", "/v1/predict", rd)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+// BenchmarkServingPredictBatch times /v1/predict:batch with 32 incidents
+// per request; divide ns/op by 32 to compare per-incident cost against
+// BenchmarkServingPredict.
+func BenchmarkServingPredictBatch(b *testing.B) {
+	srv, _, _ := trainAndServe(b)
+	_, log, _ := testEnv(b)
+	h := srv.Handler()
+
+	const batchSize = 32
+	var breq BatchPredictRequest
+	for _, in := range log.Incidents[len(log.Incidents)-batchSize:] {
+		breq.Items = append(breq.Items, PredictRequest{
+			Title: in.Title, Body: in.Body, Components: in.Components, Time: in.CreatedAt,
+		})
+	}
+	body, err := json.Marshal(breq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rd := bytes.NewReader(body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(body)
+		req := httptest.NewRequest("POST", "/v1/predict:batch", rd)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+

@@ -6,7 +6,9 @@
 package serving
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -38,35 +40,45 @@ type Store struct {
 // NewStore creates an empty store.
 func NewStore() *Store { return &Store{} }
 
-// Put appends a new model version and returns its version number.
+// Put appends a new model version and returns its version number. The
+// snapshot bytes are copied: the store models durable storage, so a caller
+// later mutating (or recycling) its buffer must not corrupt the stored
+// version.
 func (st *Store) Put(team string, snapshot []byte) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	v := len(st.models) + 1
 	st.models = append(st.models, Model{
-		Version: v, Team: team, TrainedAt: time.Now().UTC(), Snapshot: snapshot,
+		Version: v, Team: team, TrainedAt: time.Now().UTC(),
+		Snapshot: bytes.Clone(snapshot),
 	})
 	return v
 }
 
-// Latest returns the newest model (ok == false when empty).
+// Latest returns the newest model (ok == false when empty). The returned
+// Snapshot is the caller's to keep: it never aliases store-internal bytes.
 func (st *Store) Latest() (Model, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(st.models) == 0 {
 		return Model{}, false
 	}
-	return st.models[len(st.models)-1], true
+	return copyModel(st.models[len(st.models)-1]), true
 }
 
-// Get returns a specific version.
+// Get returns a specific version. Like Latest, the Snapshot is a copy.
 func (st *Store) Get(version int) (Model, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if version < 1 || version > len(st.models) {
 		return Model{}, false
 	}
-	return st.models[version-1], true
+	return copyModel(st.models[version-1]), true
+}
+
+func copyModel(m Model) Model {
+	m.Snapshot = bytes.Clone(m.Snapshot)
+	return m
 }
 
 // Versions returns the number of stored versions.
@@ -122,6 +134,37 @@ type PredictResponse struct {
 	Recommendation string   `json:"recommendation"`
 	ModelVersion   int      `json:"model_version"`
 }
+
+// BatchPredictRequest is the input of POST /v1/predict:batch: up to
+// MaxBatchItems incidents scored against one model load.
+type BatchPredictRequest struct {
+	Items []PredictRequest `json:"items"`
+}
+
+// BatchItemResult is the per-item answer: exactly one of Prediction and
+// Error is set. Item-level validation failures do not fail the batch.
+type BatchItemResult struct {
+	Prediction *PredictResponse `json:"prediction,omitempty"`
+	Error      string           `json:"error,omitempty"`
+}
+
+// BatchPredictResponse answers a batch. Results[i] corresponds to
+// Items[i]; ModelVersion is the single model version every item was
+// scored with (the model cannot change mid-batch).
+type BatchPredictResponse struct {
+	ModelVersion int               `json:"model_version"`
+	Results      []BatchItemResult `json:"results"`
+}
+
+// Request-size limits. Single predictions carry one incident's title and
+// body, so 1 MiB is generous; batches carry up to MaxBatchItems of them.
+const (
+	maxPredictBody = 1 << 20
+	maxBatchBody   = 8 << 20
+	// MaxBatchItems caps the items per batch call so one request cannot
+	// monopolize the scorer; larger workloads should page.
+	MaxBatchItems = 256
+)
 
 // Server is the online component: a REST scorer with hot-swappable models.
 type Server struct {
@@ -180,21 +223,61 @@ func (s *Server) Scout() *core.Scout {
 //	GET  /v1/model   -> model metadata
 //	POST /v1/reload  -> hot-swap to the latest stored model
 //	POST /v1/predict -> PredictRequest -> PredictResponse
+//	POST /v1/predict:batch -> BatchPredictRequest -> BatchPredictResponse
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/health", s.handleHealth)
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/predict:batch", s.handlePredictBatch)
 	return mux
 }
 
+// encodeBufs pools the response-encoding buffers: encoding into a pooled
+// buffer and writing it once keeps the per-request JSON garbage out of the
+// predict hot path (json.NewEncoder per response was one of the larger
+// allocation sources) and lets us set Content-Length.
+var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	buf := encodeBufs.Get().(*bytes.Buffer)
+	defer encodeBufs.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Should be unreachable for our response types; fail the request
+		// rather than emit a truncated body.
 		s.logger.Printf("serving: encoding response: %v", err)
+		http.Error(w, `{"error":"internal encoding failure"}`, http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+	w.WriteHeader(status)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.logger.Printf("serving: writing response: %v", err)
+	}
+}
+
+// decodeJSON decodes a request body under a byte cap, rejecting unknown
+// fields (a typoed field silently zeroing Time must not score the wrong
+// window). It answers false after writing the error response: 413 when the
+// cap tripped, 400 for malformed or unknown-field JSON.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+		return false
+	}
+	return true
 }
 
 type errorBody struct {
@@ -237,30 +320,23 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 	s.handleHealth(w, nil)
 }
 
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	m := s.current.Load()
-	if m == nil {
-		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no model loaded"})
-		return
-	}
-	var req PredictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
-		return
-	}
+// validatePredict applies the request invariants shared by the single and
+// batch endpoints, returning "" when the item is scoreable.
+func validatePredict(req *PredictRequest) string {
 	if req.Title == "" && req.Body == "" {
-		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "title or body required"})
-		return
+		return "title or body required"
 	}
 	// Time is required: a missing (zero) or negative trigger time would
 	// silently score the incident against the t=0 monitoring window — a
 	// wrong answer with full confidence — so reject it instead.
 	if req.Time <= 0 {
-		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "time is required and must be positive (trigger time in model hours)"})
-		return
+		return "time is required and must be positive (trigger time in model hours)"
 	}
-	p := m.scout.Predict(req.Title, req.Body, req.Components, req.Time)
-	s.writeJSON(w, http.StatusOK, PredictResponse{
+	return ""
+}
+
+func (m *servingModel) response(p core.Prediction) PredictResponse {
+	return PredictResponse{
 		Team:           m.scout.Team(),
 		Verdict:        string(p.Verdict),
 		Responsible:    p.Responsible,
@@ -270,7 +346,78 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Explanation:    p.Explanation,
 		Recommendation: recommendation(m.scout.Team(), p),
 		ModelVersion:   m.version,
-	})
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	m := s.current.Load()
+	if m == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no model loaded"})
+		return
+	}
+	var req PredictRequest
+	if !s.decodeJSON(w, r, maxPredictBody, &req) {
+		return
+	}
+	if msg := validatePredict(&req); msg != "" {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: msg})
+		return
+	}
+	p := m.scout.Predict(req.Title, req.Body, req.Components, req.Time)
+	s.writeJSON(w, http.StatusOK, m.response(p))
+}
+
+// handlePredictBatch scores up to MaxBatchItems incidents in one call. The
+// model pointer is loaded ONCE, so every item in a batch is answered by
+// the same version even if a reload lands mid-request. Item-level
+// validation failures yield per-item errors in a 200 response — a batch is
+// a unit of transport, not of validity — while request-level problems
+// (empty batch, too many items, oversized or malformed body) fail the
+// whole call.
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	m := s.current.Load()
+	if m == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no model loaded"})
+		return
+	}
+	var req BatchPredictRequest
+	if !s.decodeJSON(w, r, maxBatchBody, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "batch must contain at least one item"})
+		return
+	}
+	if len(req.Items) > MaxBatchItems {
+		s.writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorBody{Error: fmt.Sprintf("batch has %d items; max is %d", len(req.Items), MaxBatchItems)})
+		return
+	}
+	resp := BatchPredictResponse{
+		ModelVersion: m.version,
+		Results:      make([]BatchItemResult, len(req.Items)),
+	}
+	// Validate every item first, then score the valid ones in one batched
+	// Scout call so the forest streams tree-major across the whole batch.
+	valid := make([]int, 0, len(req.Items))
+	batch := make([]core.BatchRequest, 0, len(req.Items))
+	for i := range req.Items {
+		it := &req.Items[i]
+		if msg := validatePredict(it); msg != "" {
+			resp.Results[i].Error = msg
+			continue
+		}
+		valid = append(valid, i)
+		batch = append(batch, core.BatchRequest{
+			Title: it.Title, Body: it.Body, Components: it.Components, Time: it.Time,
+		})
+	}
+	preds := m.scout.PredictBatch(batch)
+	for k, i := range valid {
+		pr := m.response(preds[k])
+		resp.Results[i].Prediction = &pr
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // recommendation renders the §8 operator-facing fine print.

@@ -21,7 +21,7 @@ var (
 	envErr  error
 )
 
-func testEnv(t *testing.T) (*cloudsim.Generator, *incident.Log, *core.Config) {
+func testEnv(t testing.TB) (*cloudsim.Generator, *incident.Log, *core.Config) {
 	t.Helper()
 	onceEnv.Do(func() {
 		envGen = cloudsim.New(cloudsim.Params{Seed: 5, Days: 50, IncidentsPerDay: 8})
@@ -34,7 +34,7 @@ func testEnv(t *testing.T) (*cloudsim.Generator, *incident.Log, *core.Config) {
 	return envGen, envLog, envCfg
 }
 
-func trainAndServe(t *testing.T) (*Server, *Store, *core.Scout) {
+func trainAndServe(t testing.TB) (*Server, *Store, *core.Scout) {
 	t.Helper()
 	gen, log, cfg := testEnv(t)
 	store := NewStore()
