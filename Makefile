@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-workers bench-smoke loadgen-smoke ci clean
+.PHONY: all build vet test race lint bench bench-workers bench-smoke loadgen-smoke ci clean
 
 all: ci
 
@@ -54,7 +54,14 @@ bench-smoke:
 loadgen-smoke:
 	$(GO) test -run 'TestLoadgenSmoke' -count 1 ./cmd/loadgen
 
-ci: vet build race bench-smoke loadgen-smoke
+# Project-specific static analysis (cmd/scoutlint): determinism, map
+# iteration order, reflective sorts, hot-path allocations, lock hygiene
+# and HTTP input hardening. Exits non-zero on any unsuppressed finding;
+# `-json` emits machine-readable findings for tooling.
+lint:
+	$(GO) run ./cmd/scoutlint ./...
+
+ci: vet lint build race bench-smoke loadgen-smoke
 
 clean:
 	$(GO) clean ./...

@@ -282,6 +282,8 @@ func (t *Telemetry) SeriesWindow(dataset, component string, from, to float64) []
 // look-back windows) instead of a returned slice, and the aggregates use
 // StatsOf — bit-identical to materializing the window and computing
 // metrics.Mean/metrics.StdDev on it.
+//
+//scout:hotpath
 func (t *Telemetry) WindowStats(dataset, component string, from, to float64) (monitoring.Stats, bool) {
 	spec := t.seriesSpec(dataset, component)
 	if spec == nil {
@@ -335,6 +337,8 @@ func (t *Telemetry) EventsWindow(dataset, component string, from, to float64) []
 // EventCount implements monitoring.StatsSource: the number of events in
 // [from, to), evaluated with the same per-tick occurrence predicate as
 // EventsWindow but without materializing any records.
+//
+//scout:hotpath
 func (t *Telemetry) EventCount(dataset, component string, from, to float64) int {
 	t.mu.RLock()
 	spec, ok := t.byDS[dataset]

@@ -345,6 +345,8 @@ func (fb *FeatureBuilder) Featurize(ex Extraction, t float64) []float64 {
 // same layout (len(FeatureNames()) cells); a mismatched slice is replaced
 // by a fresh one. Every slot is overwritten, so a dirty pooled vector is
 // fine. Returns the filled vector.
+//
+//scout:hotpath
 func (fb *FeatureBuilder) FeaturizeInto(x []float64, ex Extraction, t float64) []float64 {
 	if len(x) != len(fb.names) {
 		x = make([]float64, len(fb.names))
@@ -404,6 +406,8 @@ func (fb *FeatureBuilder) FeaturizeInto(x []float64, ex Extraction, t float64) [
 // empty; the current window's own mean then centers the values (and the
 // zero std falls through to the same floor the materializing implementation
 // used).
+//
+//scout:hotpath
 func appendNormalized(dst, cur []float64, base monitoring.Stats, baseOK bool) []float64 {
 	mean, std := base.Mean, base.Std
 	if !baseOK {

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -57,8 +59,10 @@ func (o ReplayOptions) withDefaults(lab *Lab) ReplayOptions {
 func Replay(lab *Lab, opt ReplayOptions) ([]F1Point, error) {
 	opt = opt.withDefaults(lab)
 	incidents := append([]*incident.Incident(nil), lab.Log.Incidents...)
-	sort.Slice(incidents, func(i, j int) bool {
-		return incidents[i].CreatedAt < incidents[j].CreatedAt
+	// Stable: incidents created in the same model hour keep their trace
+	// order, so the replay schedule is a pure function of the log.
+	slices.SortStableFunc(incidents, func(a, b *incident.Incident) int {
+		return cmp.Compare(a.CreatedAt, b.CreatedAt)
 	})
 
 	var points []F1Point
@@ -316,7 +320,9 @@ func Figure9(lab *Lab, maxRemoved, randomTrials int) (Figure9Result, error) {
 		}
 		ranked = append(ranked, gi{g, v})
 	}
-	sort.Slice(ranked, func(i, j int) bool { return ranked[i].v > ranked[j].v })
+	// Stable: groups with equal importance keep their feature-group
+	// order, so the worst-case removal schedule is deterministic.
+	slices.SortStableFunc(ranked, func(a, b gi) int { return cmp.Compare(b.v, a.v) })
 
 	rng := lab.RNG(9)
 	out := Figure9Result{Baseline: base}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"scouts/internal/cloudsim"
 	"scouts/internal/core"
@@ -74,6 +75,10 @@ type Lab struct {
 	TrainY, TestY []bool
 	TrainIDs      []string
 	TestIDs       []string
+
+	// Clock times the latency experiment (§6). nil means time.Now; tests
+	// inject a fixed clock so every table is a pure function of the seed.
+	Clock func() time.Time
 
 	mu sync.Mutex
 }

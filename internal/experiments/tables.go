@@ -318,16 +318,22 @@ func (l LatencyResult) String() string {
 		l.MeanSeconds, l.StdSeconds, l.Samples)
 }
 
-// InferenceLatency times end-to-end Scout predictions.
+// InferenceLatency times end-to-end Scout predictions with the Lab's
+// clock (wall time by default; tests inject a fake to make the one
+// wall-clock-dependent table reproducible).
 func InferenceLatency(lab *Lab, calls int) LatencyResult {
 	if calls <= 0 || calls > len(lab.Test) {
 		calls = min(200, len(lab.Test))
 	}
+	now := lab.Clock
+	if now == nil {
+		now = time.Now
+	}
 	var durs []float64
 	for _, in := range lab.Test[:calls] {
-		start := time.Now()
+		start := now()
 		_ = lab.Scout.PredictIncident(in)
-		durs = append(durs, time.Since(start).Seconds())
+		durs = append(durs, now().Sub(start).Seconds())
 	}
 	return LatencyResult{
 		MeanSeconds: metrics.Mean(durs),

@@ -1,0 +1,329 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// Config drives one lint run.
+type Config struct {
+	// Root is the directory to lint: the module root for a whole-repo
+	// run, or any subtree (the fixture harness points it at a testdata
+	// directory).
+	Root string
+	// Analyzers defaults to All().
+	Analyzers []*Analyzer
+}
+
+// Run discovers every package under cfg.Root, type-checks them in
+// dependency order, runs the analyzer catalog, applies //scout:allow
+// suppressions and returns the surviving findings sorted by position.
+// The error is non-nil only for driver-level failures (unreadable tree,
+// syntax or type errors) — findings alone never produce an error.
+func Run(cfg Config) ([]Diagnostic, error) {
+	if cfg.Analyzers == nil {
+		cfg.Analyzers = All()
+	}
+	root, err := filepath.Abs(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := discover(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	if err := parseAll(fset, pkgs); err != nil {
+		return nil, err
+	}
+	order, err := dependencyOrder(pkgs)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{fset: fset, module: map[string]*types.Package{}}
+	var diags []Diagnostic
+	for _, pd := range order {
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(pd.importPath, fset, pd.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", pd.importPath, err)
+		}
+		imp.module[pd.importPath] = tpkg
+
+		pass := &Pass{Fset: fset, Files: pd.files, Info: info, Pkg: tpkg, RelDir: pd.relDir}
+		pass.report = func(d Diagnostic) { diags = append(diags, d) }
+		for _, a := range cfg.Analyzers {
+			pass.check = a.Name
+			a.Run(pass)
+		}
+	}
+
+	diags = suppress(fset, pkgs, cfg.Analyzers, diags)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// pkgDir is one directory of non-test Go files.
+type pkgDir struct {
+	dir        string // absolute
+	relDir     string // module-root-relative, "" for the root itself
+	importPath string
+	goFiles    []string
+	files      []*ast.File
+	imports    map[string]bool // module-internal imports only
+}
+
+// skipDir names directories the walk never descends into: VCS state,
+// fixture trees (they are linted on demand, with their own expectations)
+// and the underscore/dot dirs the go tool itself ignores.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" || name == "node_modules" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+var moduleRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// discover walks root for directories containing non-test Go files. The
+// import path of each package is derived from root's go.mod when one
+// exists ("scouts/internal/core"); fixture roots without a go.mod get a
+// synthetic "lintfixture/" prefix — their packages never import each
+// other, so the prefix only needs to be unique.
+func discover(root string) ([]*pkgDir, error) {
+	modulePath := "lintfixture"
+	if data, err := os.ReadFile(filepath.Join(root, "go.mod")); err == nil {
+		if m := moduleRE.FindSubmatch(data); m != nil {
+			modulePath = string(m[1])
+		}
+	}
+	var pkgs []*pkgDir
+	byDir := map[string]*pkgDir{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		pd := byDir[dir]
+		if pd == nil {
+			rel, err := filepath.Rel(root, dir)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				rel = ""
+			}
+			rel = filepath.ToSlash(rel)
+			ip := modulePath
+			if rel != "" {
+				ip = modulePath + "/" + rel
+			}
+			pd = &pkgDir{dir: dir, relDir: rel, importPath: ip, imports: map[string]bool{}}
+			byDir[dir] = pd
+			pkgs = append(pkgs, pd)
+		}
+		pd.goFiles = append(pd.goFiles, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	slices.SortFunc(pkgs, func(a, b *pkgDir) int { return strings.Compare(a.dir, b.dir) })
+	for _, pd := range pkgs {
+		slices.Sort(pd.goFiles)
+	}
+	return pkgs, nil
+}
+
+// parseAll parses every discovered file (with comments, needed for both
+// directives and suppressions) and records module-internal imports.
+func parseAll(fset *token.FileSet, pkgs []*pkgDir) error {
+	intern := map[string]bool{}
+	for _, pd := range pkgs {
+		intern[pd.importPath] = true
+	}
+	for _, pd := range pkgs {
+		for _, path := range pd.goFiles {
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			pd.files = append(pd.files, f)
+			for _, im := range f.Imports {
+				ip, err := strconv.Unquote(im.Path.Value)
+				if err != nil {
+					continue
+				}
+				if intern[ip] {
+					pd.imports[ip] = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// dependencyOrder topologically sorts the packages so every module-
+// internal import is type-checked before its importer.
+func dependencyOrder(pkgs []*pkgDir) ([]*pkgDir, error) {
+	byPath := map[string]*pkgDir{}
+	for _, pd := range pkgs {
+		byPath[pd.importPath] = pd
+	}
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []*pkgDir
+	var visit func(pd *pkgDir) error
+	visit = func(pd *pkgDir) error {
+		switch state[pd.importPath] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle through %s", pd.importPath)
+		}
+		state[pd.importPath] = visiting
+		deps := make([]string, 0, len(pd.imports))
+		for ip := range pd.imports {
+			deps = append(deps, ip)
+		}
+		slices.Sort(deps)
+		for _, ip := range deps {
+			if err := visit(byPath[ip]); err != nil {
+				return err
+			}
+		}
+		state[pd.importPath] = done
+		order = append(order, pd)
+		return nil
+	}
+	for _, pd := range pkgs {
+		if err := visit(pd); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-internal imports from the packages the
+// driver already checked and everything else from the toolchain: the gc
+// importer (compiled export data) first — it is fast — falling back to
+// the source importer for toolchains that ship no stdlib export data.
+type moduleImporter struct {
+	fset   *token.FileSet
+	module map[string]*types.Package
+	gc     types.Importer
+	source types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.module[path]; ok {
+		return pkg, nil
+	}
+	if m.gc == nil {
+		m.gc = importer.ForCompiler(m.fset, "gc", nil)
+	}
+	pkg, gcErr := m.gc.Import(path)
+	if gcErr == nil {
+		return pkg, nil
+	}
+	if m.source == nil {
+		m.source = importer.ForCompiler(m.fset, "source", nil)
+	}
+	pkg, srcErr := m.source.Import(path)
+	if srcErr != nil {
+		return nil, fmt.Errorf("import %q: gc importer: %v; source importer: %v", path, gcErr, srcErr)
+	}
+	return pkg, nil
+}
+
+// ---- suppression ----
+
+// allowRE matches the suppression directive. The check name and a
+// free-text reason are both mandatory: an exception nobody can explain
+// is a bug with a comment on it. Like //go: directives, the comment
+// must begin with the marker — prose that merely mentions
+// "//scout:allow" is not a directive.
+var allowRE = regexp.MustCompile(`^//scout:allow(\s+(\S+))?\s*(.*)`)
+
+// suppress drops findings covered by a //scout:allow directive on the
+// same line or the line directly above, and adds findings for malformed
+// directives (missing reason, unknown check). It returns the surviving
+// diagnostic set.
+func suppress(fset *token.FileSet, pkgs []*pkgDir, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	type key struct {
+		file  string
+		line  int
+		check string
+	}
+	allowed := map[key]bool{}
+	var extra []Diagnostic
+	for _, pd := range pkgs {
+		for _, f := range pd.files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := allowRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					check, reason := m[2], strings.TrimSpace(m[3])
+					switch {
+					case check == "":
+						extra = append(extra, Diagnostic{File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Check: "allow", Message: "scout:allow needs a check name and a reason"})
+					case !known[check]:
+						extra = append(extra, Diagnostic{File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Check: "allow", Message: fmt.Sprintf("scout:allow names unknown check %q", check)})
+					case reason == "":
+						extra = append(extra, Diagnostic{File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Check: "allow", Message: fmt.Sprintf("scout:allow %s needs a reason", check)})
+					default:
+						end := fset.Position(c.End()).Line
+						allowed[key{pos.Filename, end, check}] = true
+						allowed[key{pos.Filename, end + 1, check}] = true
+					}
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allowed[key{d.File, d.Line, d.Check}] {
+			kept = append(kept, d)
+		}
+	}
+	return append(kept, extra...)
+}

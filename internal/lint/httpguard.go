@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HTTPGuard generalizes PR 3's serving hardening to every future
+// endpoint: any function that decodes an *http.Request body with
+// encoding/json must (a) wrap the body in http.MaxBytesReader — an
+// unbounded decode lets one request balloon the heap — and (b) call
+// DisallowUnknownFields on the decoder — a typoed field silently
+// zeroing a required value (the Time-field bug the serving layer guards
+// against) must be a 400, not a wrong answer served with confidence.
+//
+// The check is function-local: it looks at json.NewDecoder calls whose
+// argument traces to a request body (directly, or through one local
+// assignment like `body := http.MaxBytesReader(w, r.Body, n)`).
+// Decoding *response* bodies (clients, tests) is untouched — the
+// receiver must be an *http.Request.
+var HTTPGuard = &Analyzer{
+	Name: "httpguard",
+	Doc:  "request-body JSON decodes need http.MaxBytesReader and DisallowUnknownFields",
+	Run:  runHTTPGuard,
+}
+
+func runHTTPGuard(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkHTTPFunc(p, fd)
+		}
+	}
+}
+
+// bodySource classifies what a json.NewDecoder argument reads from.
+type bodySource int
+
+const (
+	notRequestBody    bodySource = iota // response body, file, buffer — not ours
+	rawRequestBody                      // r.Body with no byte cap
+	cappedRequestBody                   // http.MaxBytesReader(w, r.Body, n)
+)
+
+func checkHTTPFunc(p *Pass, fd *ast.FuncDecl) {
+	// assigns maps a local variable to the expression it was (last)
+	// assigned from, for one-hop tracing of `body := http.MaxBytesReader(...)`.
+	assigns := map[types.Object]ast.Expr{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			if obj := objectOf(p.Info, lhs); obj != nil {
+				assigns[obj] = as.Rhs[i]
+			}
+		}
+		return true
+	})
+
+	classify := func(e ast.Expr) bodySource { return classifyBodyExpr(p.Info, e, assigns, 0) }
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if !isPkgFunc(fn, "encoding/json", "NewDecoder") || len(call.Args) != 1 {
+			return true
+		}
+		src := classify(call.Args[0])
+		if src == notRequestBody {
+			return true
+		}
+		if src == rawRequestBody {
+			p.Reportf(call.Pos(), "request body decoded without http.MaxBytesReader; cap it so one request cannot balloon the heap")
+		}
+		if !decoderDisallowsUnknown(p.Info, fd, call) {
+			p.Reportf(call.Pos(), "request-body decoder never calls DisallowUnknownFields; a typoed field would silently zero a required value")
+		}
+		return true
+	})
+}
+
+// classifyBodyExpr resolves whether e reads an *http.Request body and
+// whether a MaxBytesReader caps it, following at most two local
+// assignment hops.
+func classifyBodyExpr(info *types.Info, e ast.Expr, assigns map[types.Object]ast.Expr, depth int) bodySource {
+	if depth > 2 {
+		return notRequestBody
+	}
+	switch v := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		// X.Body where X is an *http.Request.
+		if v.Sel.Name != "Body" {
+			return notRequestBody
+		}
+		if tv, ok := info.Types[v.X]; ok && namedPath(tv.Type) == "net/http.Request" {
+			return rawRequestBody
+		}
+	case *ast.CallExpr:
+		fn := calleeFunc(info, v)
+		if isPkgFunc(fn, "net/http", "MaxBytesReader") && len(v.Args) == 3 {
+			// Capped — but only meaningful if it caps a request body.
+			if classifyBodyExpr(info, v.Args[1], assigns, depth+1) != notRequestBody {
+				return cappedRequestBody
+			}
+		}
+	case *ast.Ident:
+		if obj := info.Uses[v]; obj != nil {
+			if rhs, ok := assigns[obj]; ok {
+				return classifyBodyExpr(info, rhs, assigns, depth+1)
+			}
+		}
+	}
+	return notRequestBody
+}
+
+// decoderDisallowsUnknown reports whether the decoder produced by
+// newDec has DisallowUnknownFields called on it in fd: either inline
+// (json.NewDecoder(b).DisallowUnknownFields() — nobody writes that, but
+// it is legal) or via the local variable it is assigned to.
+func decoderDisallowsUnknown(info *types.Info, fd *ast.FuncDecl, newDec *ast.CallExpr) bool {
+	// Find the variable the decoder lands in.
+	var decObj types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if ast.Unparen(rhs) == newDec {
+				decObj = objectOf(info, as.Lhs[i])
+			}
+		}
+		return true
+	})
+	if decObj == nil {
+		// Used inline: json.NewDecoder(b).Decode(v) can never have
+		// DisallowUnknownFields applied.
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "DisallowUnknownFields" {
+			return true
+		}
+		if objectOf(info, sel.X) == decObj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

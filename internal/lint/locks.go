@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"slices"
+)
+
+// Locks hardens the shared-cache and serving-hot-swap concurrency
+// contracts with three checks:
+//
+//   - no by-value copy of a type containing a sync.Mutex/RWMutex
+//     (parameters, receivers, plain assignments, range variables) — a
+//     copied lock guards nothing;
+//   - every non-deferred mu.Lock()/mu.RLock() needs a matching
+//     mu.Unlock()/mu.RUnlock() (or a defer of it) somewhere in the same
+//     function — cross-function lock handoff is banned in this repo;
+//   - no mu.Lock() while mu.RLock() is still held on the same receiver:
+//     sync.RWMutex cannot be upgraded and the goroutine self-deadlocks.
+//
+// The checks are intraprocedural and pair calls by the receiver's
+// printed expression ("s.mu"), which matches how every lock in this
+// repo is used: a struct field locked and unlocked in the same method.
+var Locks = &Analyzer{
+	Name: "locks",
+	Doc:  "no lock copies, no Lock without Unlock in-function, no RLock→Lock upgrades",
+	Run:  runLocks,
+}
+
+func runLocks(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockCopies(p, fd)
+			if fd.Body != nil {
+				checkLockPairing(p, fd)
+			}
+		}
+	}
+}
+
+// containsLock reports whether a value of type t holds a sync.Mutex or
+// sync.RWMutex (directly, in a struct field, or in an array element).
+// Pointers, slices, maps and interfaces hide the lock behind a
+// reference, so copying them is fine.
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, map[types.Type]bool{})
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch path := namedPath(t); path {
+	case "sync.Mutex", "sync.RWMutex":
+		// A pointer to a lock is fine; namedPath dereferences one level,
+		// so re-check that t itself is not a pointer.
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			return true
+		}
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+// checkLockCopies flags by-value lock copies in signatures, assignments
+// and range clauses.
+func checkLockCopies(p *Pass, fd *ast.FuncDecl) {
+	flagField := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := p.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(tv.Type) {
+				p.Reportf(field.Type.Pos(), "%s passes %s by value, copying its lock; use a pointer", what, tv.Type)
+			}
+		}
+	}
+	flagField(fd.Recv, "receiver")
+	flagField(fd.Type.Params, "parameter")
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) {
+					break
+				}
+				if !copiesValue(rhs) {
+					continue
+				}
+				tv, ok := p.Info.Types[rhs]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if containsLock(tv.Type) {
+					p.Reportf(s.Pos(), "assignment copies %s by value, copying its lock; use a pointer", tv.Type)
+				}
+			}
+		case *ast.RangeStmt:
+			if s.Value == nil {
+				return true
+			}
+			// A `:=`-defined range value lives in Defs, not Types; a
+			// reused variable (`=`) lives in Types. Blank idents have
+			// neither and fall through.
+			var vt types.Type
+			if id, ok := s.Value.(*ast.Ident); ok {
+				if obj := p.Info.Defs[id]; obj != nil {
+					vt = obj.Type()
+				}
+			}
+			if vt == nil {
+				if tv, ok := p.Info.Types[s.Value]; ok {
+					vt = tv.Type
+				}
+			}
+			if vt != nil && containsLock(vt) {
+				p.Reportf(s.Value.Pos(), "range copies %s elements by value, copying their locks; range over indices or pointers", vt)
+			}
+		}
+		return true
+	})
+}
+
+// copiesValue reports whether the right-hand side reads an existing
+// value (identifier, field, deref, index) — the forms that duplicate a
+// held lock. Composite literals build a fresh, unlocked value and calls
+// are the callee's responsibility, so both pass.
+func copiesValue(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// lockEvent is one Lock/Unlock-family call in source order.
+type lockEvent struct {
+	pos      token.Pos
+	name     string // Lock, Unlock, RLock, RUnlock
+	recv     string // printed receiver expression, e.g. "s.mu"
+	deferred bool
+}
+
+func checkLockPairing(p *Pass, fd *ast.FuncDecl) {
+	var events []lockEvent
+	collect := func(n ast.Node, deferred bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return
+		}
+		switch fn.Name() {
+		case "Lock", "Unlock", "RLock", "RUnlock":
+			events = append(events, lockEvent{
+				pos: call.Pos(), name: fn.Name(), recv: recvKey(sel.X), deferred: deferred,
+			})
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			collect(ds.Call, true)
+			return false // the call inside the defer is already handled
+		}
+		collect(n, false)
+		return true
+	})
+	slices.SortFunc(events, func(a, b lockEvent) int { return int(a.pos - b.pos) })
+
+	// Check 1: every acquire has a release somewhere in the function.
+	released := map[string]bool{} // "recv\x00Unlock" present?
+	for _, e := range events {
+		if e.name == "Unlock" || e.name == "RUnlock" {
+			released[e.recv+"\x00"+e.name] = true
+		}
+	}
+	for _, e := range events {
+		switch e.name {
+		case "Lock":
+			if !released[e.recv+"\x00Unlock"] {
+				p.Reportf(e.pos, "%s.Lock() has no %s.Unlock() (or defer of it) in this function", e.recv, e.recv)
+			}
+		case "RLock":
+			if !released[e.recv+"\x00RUnlock"] {
+				p.Reportf(e.pos, "%s.RLock() has no %s.RUnlock() (or defer of it) in this function", e.recv, e.recv)
+			}
+		}
+	}
+
+	// Check 2: RLock→Lock upgrade. Walk in source order, tracking which
+	// receivers hold a read lock; a deferred RUnlock releases only at
+	// function exit, so it never clears the flag mid-walk.
+	readHeld := map[string]bool{}
+	for _, e := range events {
+		switch {
+		case e.name == "RLock" && !e.deferred:
+			readHeld[e.recv] = true
+		case e.name == "RUnlock" && !e.deferred:
+			readHeld[e.recv] = false
+		case e.name == "Lock" && readHeld[e.recv]:
+			p.Reportf(e.pos, "%s.Lock() while %s.RLock() is held: RWMutex cannot upgrade and this deadlocks", e.recv, e.recv)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoMapIter flags the bug class PR 1's ordered-importance merge fixed by
+// hand: a `range` over a map appending into a slice that the function
+// then returns, with no intervening sort. Map iteration order is
+// deliberately randomized by the runtime, so such a slice changes across
+// runs — the exact failure mode that breaks bit-identical snapshots and
+// golden tables.
+//
+// The check is function-local and conservative: it fires only when (a)
+// the ranged expression's type is a map, (b) the loop body appends to a
+// local slice variable, (c) that variable appears in a return statement
+// (or is a named result), and (d) no sort/slices ordering call takes the
+// variable after the loop. Writing into another map, accumulating a
+// scalar, or sorting before returning are all fine.
+var NoMapIter = &Analyzer{
+	Name: "nomapiter",
+	Doc:  "map iteration order must not reach a returned slice unsorted",
+	Run:  runNoMapIter,
+}
+
+func runNoMapIter(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapIterFunc(p, fd)
+		}
+	}
+}
+
+func checkMapIterFunc(p *Pass, fd *ast.FuncDecl) {
+	// Named results escape via bare returns too.
+	namedResults := map[types.Object]bool{}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					namedResults[obj] = true
+				}
+			}
+		}
+	}
+
+	type mapAppend struct {
+		obj      types.Object
+		rangePos token.Pos // the `for ... range m` position, for the report
+		loopEnd  token.Pos
+	}
+	var appends []mapAppend
+
+	// Pass 1: appends to local slices inside map-range bodies.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBuiltin(p.Info, call, "append") || len(call.Args) == 0 {
+				return true
+			}
+			dst := objectOf(p.Info, as.Lhs[0])
+			src := objectOf(p.Info, call.Args[0])
+			if dst == nil || dst != src {
+				return true
+			}
+			appends = append(appends, mapAppend{obj: dst, rangePos: rng.For, loopEnd: rng.End()})
+			return true
+		})
+		return true
+	})
+	if len(appends) == 0 {
+		return
+	}
+
+	// Pass 2: does the variable get ordered after the loop, and does it
+	// escape through a return?
+	for _, ma := range appends {
+		sorted := false
+		escapes := namedResults[ma.obj]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.CallExpr:
+				if s.Pos() > ma.loopEnd && isOrderingCall(p.Info, s, ma.obj) {
+					sorted = true
+				}
+			case *ast.ReturnStmt:
+				for _, res := range s.Results {
+					if resultMentions(p.Info, res, ma.obj) {
+						escapes = true
+					}
+				}
+			}
+			return true
+		})
+		if escapes && !sorted {
+			p.Reportf(ma.rangePos,
+				"map iteration order reaches returned slice %q; sort it (slices.Sort*) after the loop or build a deterministic order first",
+				ma.obj.Name())
+		}
+	}
+}
+
+// isOrderingCall reports whether the call imposes a deterministic order
+// on obj: any sort.* or slices.* function taking obj as its first
+// argument (sort.Strings, slices.SortFunc, even sort.Slice — the
+// sortslice check complains about the latter separately).
+func isOrderingCall(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+		return false
+	}
+	return len(call.Args) > 0 && objectOf(info, call.Args[0]) == obj
+}
+
+// resultMentions reports whether the returned expression is obj itself
+// or a direct slicing/call wrapping of it (`return out`, `return
+// out[:k]`, `return dedupe(out)`). len/cap calls are exempt: a slice's
+// length is independent of its element order.
+func resultMentions(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok &&
+			(isBuiltin(info, call, "len") || isBuiltin(info, call, "cap")) {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && (info.Uses[id] == obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SortSlice bans the reflection-based sorters. PR 2 measured the
+// concrete slices kernels (slices.Sort / SortFunc / SortStableFunc)
+// beating sort.Slice's interface-and-reflect dispatch on every hot and
+// startup path, and migrated the tree; this check keeps new code from
+// regressing to the reflective forms. The one deliberate exception —
+// the frozen reference split kernel, whose tie ordering golden tests
+// pin — carries a //scout:allow.
+var SortSlice = &Analyzer{
+	Name: "sortslice",
+	Doc:  "use the concrete slices.Sort* kernels, not reflection-based sort.Slice/sort.Sort",
+	Run:  runSortSlice,
+}
+
+// reflectiveSorters are the sort-package entry points that dispatch
+// through reflection (Slice*) or an interface vtable (Sort/Stable).
+// The concrete helpers (sort.Ints, sort.SearchFloat64s, ...) are fine.
+var reflectiveSorters = map[string]string{
+	"Slice":         "slices.SortFunc",
+	"SliceStable":   "slices.SortStableFunc",
+	"SliceIsSorted": "slices.IsSortedFunc",
+	"Sort":          "slices.SortFunc",
+	"Stable":        "slices.SortStableFunc",
+}
+
+func runSortSlice(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sort" || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if repl, bad := reflectiveSorters[fn.Name()]; bad {
+				p.Reportf(call.Pos(), "sort.%s sorts through reflection; use %s", fn.Name(), repl)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,33 @@
+// Package allowdemo exercises scout:allow handling: a well-formed
+// directive (check name + reason) suppresses findings on its own line or
+// the line below; malformed directives are findings themselves and
+// suppress nothing. This fixture carries no want comments — appending
+// prose to a directive line would change what the directive parses to —
+// so the expectations live in TestSuppression instead.
+package allowdemo
+
+import "sort"
+
+// Suppressed keeps one reflective call: the trailing directive silences
+// the sortslice finding.
+func Suppressed(xs []string) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) //scout:allow sortslice fixture keeps one reflective call to prove trailing suppression
+}
+
+// SuppressedAbove shows the directive covering the line below it.
+func SuppressedAbove(xs []string) {
+	//scout:allow sortslice fixture proves the line-above form
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// ReasonMissing: a reasonless directive is itself a finding, and the
+// sortslice finding it meant to cover survives.
+func ReasonMissing(xs []string) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) //scout:allow sortslice
+}
+
+// The two standalone malformed forms below are findings too.
+
+//scout:allow
+
+//scout:allow nosuchcheck the named check does not exist

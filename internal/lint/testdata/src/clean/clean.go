@@ -1,0 +1,43 @@
+// Package clean is the negative control: idiomatic code written the way
+// the analyzers want it, expected to produce zero findings.
+package clean
+
+import (
+	"slices"
+	"sync"
+	"time"
+)
+
+// Registry is the sanctioned shape everywhere the analyzers look: an
+// injected clock (referenced, never called at package scope), a pointer
+// receiver around the mutex, paired Lock/Unlock, and slices kernels.
+type Registry struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	names []string
+}
+
+// New takes the clock as a dependency; time.Now is only the default.
+func New(now func() time.Time) *Registry {
+	if now == nil {
+		now = time.Now
+	}
+	return &Registry{now: now}
+}
+
+// Add records a name under the lock.
+func (r *Registry) Add(name string) time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.names = append(r.names, name)
+	return r.now()
+}
+
+// Sorted returns a deterministic copy.
+func (r *Registry) Sorted() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := slices.Clone(r.names)
+	slices.Sort(out)
+	return out
+}

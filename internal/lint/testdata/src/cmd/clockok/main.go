@@ -1,0 +1,14 @@
+// Command clockok shows the determinism exemption: binaries under cmd/
+// own the wall clock, so time.Now is legal here. No finding expected
+// anywhere in this file.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

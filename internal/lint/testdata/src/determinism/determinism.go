@@ -1,0 +1,49 @@
+// Package determinism exercises the determinism analyzer: wall-clock
+// reads and the global math/rand source are flagged in library code;
+// seeded generators and clock references are not.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock is the sanctioned pattern: referencing time.Now as an injectable
+// default is fine — only calling it is a wall-clock read.
+var Clock = time.Now
+
+// Stamp reads the wall clock directly.
+func Stamp() time.Time {
+	return time.Now() // want "time.Now read in library code"
+}
+
+// Age reads the wall clock through time.Since.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since read in library code"
+}
+
+// Roll draws from the global math/rand source.
+func Roll() int {
+	return rand.Intn(6) // want "global math/rand source"
+}
+
+// ShuffleIDs mutates through the global source too.
+func ShuffleIDs(ids []int) {
+	rand.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] }) // want "global math/rand source"
+}
+
+// SeededRoll is the sanctioned pattern: an explicit seeded generator.
+// The method names collide with the global functions; the analyzer must
+// not flag them.
+func SeededRoll(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// InjectedStamp is the sanctioned clock-injection pattern.
+func InjectedStamp(now func() time.Time) time.Time {
+	if now == nil {
+		now = time.Now
+	}
+	return now()
+}

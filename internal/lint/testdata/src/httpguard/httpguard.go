@@ -1,0 +1,49 @@
+// Package httpguard exercises the httpguard analyzer: decoding an
+// uncapped *http.Request body, or decoding one without
+// DisallowUnknownFields, is flagged; the fully guarded handler and
+// client-side *http.Response decodes are not.
+package httpguard
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type payload struct {
+	Name string `json:"name"`
+}
+
+// Naked decodes the raw request body with no cap and no strict fields.
+func Naked(w http.ResponseWriter, r *http.Request) {
+	var p payload
+	_ = json.NewDecoder(r.Body).Decode(&p) // want "without http.MaxBytesReader" "never calls DisallowUnknownFields"
+	_ = p
+}
+
+// CappedOnly bounds the body but still accepts unknown fields.
+func CappedOnly(w http.ResponseWriter, r *http.Request) {
+	var p payload
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	_ = json.NewDecoder(body).Decode(&p) // want "never calls DisallowUnknownFields"
+	_ = p
+}
+
+// Guarded is the sanctioned handler shape.
+func Guarded(w http.ResponseWriter, r *http.Request) {
+	var p payload
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	_ = p
+}
+
+// Client decodes a response body: our own server's reply, not untrusted
+// request input, so the analyzer leaves it alone.
+func Client(resp *http.Response) (payload, error) {
+	var p payload
+	err := json.NewDecoder(resp.Body).Decode(&p)
+	return p, err
+}

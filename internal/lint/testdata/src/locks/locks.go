@@ -1,0 +1,75 @@
+// Package locks exercises the locks analyzer: by-value copies of
+// lock-bearing types, Lock calls with no reachable Unlock, and
+// RLock-to-Lock upgrades are flagged; pointer passing and paired
+// lock/unlock (direct or deferred) are not.
+package locks
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValueParam copies the mutex through the parameter.
+func ByValueParam(c Counter) int { // want "parameter passes .* by value, copying its lock"
+	return c.n
+}
+
+// ByValueReceiver copies the mutex through the receiver.
+func (c Counter) ByValueReceiver() int { // want "receiver passes .* by value, copying its lock"
+	return c.n
+}
+
+// Dereference copies the mutex through an assignment.
+func Dereference(c *Counter) int {
+	cp := *c // want "assignment copies .* by value, copying its lock"
+	return cp.n
+}
+
+// RangeCopy copies each element's mutex through the range value.
+func RangeCopy(cs []Counter) int {
+	total := 0
+	for _, c := range cs { // want "range copies .* elements by value"
+		total += c.n
+	}
+	return total
+}
+
+// LeakLock acquires without any reachable release.
+func LeakLock(c *Counter) {
+	c.mu.Lock() // want "has no c.mu.Unlock"
+	c.n++
+}
+
+// Upgrade attempts the RWMutex read-to-write upgrade deadlock.
+func Upgrade(mu *sync.RWMutex, n *int) {
+	mu.RLock()
+	if *n == 0 {
+		mu.Lock() // want "RWMutex cannot upgrade"
+		*n = 1
+		mu.Unlock()
+	}
+	mu.RUnlock()
+}
+
+// Deferred is the sanctioned pattern.
+func Deferred(c *Counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Paired releases explicitly on every path.
+func Paired(c *Counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// PointerParam passes the lock-bearing struct correctly.
+func PointerParam(c *Counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

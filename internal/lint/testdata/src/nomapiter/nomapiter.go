@@ -1,0 +1,61 @@
+// Package nomapiter exercises the nomapiter analyzer: map iteration
+// order reaching a returned slice unsorted is flagged; sorting after the
+// loop, writing into maps, or accumulating scalars is not.
+package nomapiter
+
+import "slices"
+
+// Keys leaks randomized iteration order into its result.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order reaches returned slice"
+		out = append(out, k)
+	}
+	return out
+}
+
+// KeysNamed leaks through a named result and a bare return.
+func KeysNamed(m map[string]int) (out []string) {
+	for k := range m { // want "map iteration order reaches returned slice"
+		out = append(out, k)
+	}
+	return
+}
+
+// SortedKeys is the sanctioned form: the sort after the loop erases the
+// iteration order.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Invert writes into another map: insertion order does not matter.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Total accumulates a scalar; no order leaks.
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Local appends inside a map range but never returns the slice.
+func Local(m map[string]int) int {
+	var tmp []string
+	for k := range m {
+		tmp = append(tmp, k)
+	}
+	return len(tmp)
+}

@@ -1,0 +1,33 @@
+// Package sortslice exercises the sortslice analyzer: the reflective
+// sort-package entry points are flagged; the concrete slices kernels and
+// the typed sort helpers are not.
+package sortslice
+
+import (
+	"slices"
+	"sort"
+)
+
+type byLen []string
+
+func (b byLen) Len() int           { return len(b) }
+func (b byLen) Less(i, j int) bool { return len(b[i]) < len(b[j]) }
+func (b byLen) Swap(i, j int)      { b[i], b[j] = b[j], b[i] }
+
+// Reflective reports every reflection/interface-dispatch sorter.
+func Reflective(xs []string) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })       // want "sort.Slice sorts through reflection"
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "sort.SliceStable sorts through reflection"
+	sort.Sort(byLen(xs))                                               // want "sort.Sort sorts through reflection"
+	sort.Stable(byLen(xs))                                             // want "sort.Stable sorts through reflection"
+}
+
+// Concrete is the sanctioned form: monomorphic slices kernels and the
+// typed helpers dispatch with no reflection.
+func Concrete(xs []string, ns []int) {
+	slices.Sort(xs)
+	slices.SortFunc(xs, func(a, b string) int { return len(a) - len(b) })
+	sort.Strings(xs)
+	sort.Ints(ns)
+	_ = sort.SearchStrings(xs, "q")
+}

@@ -6,9 +6,10 @@
 package master
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"scouts/internal/incident"
 )
@@ -85,11 +86,11 @@ func (m *Master) Route(answers []Answer, fallback string) (team, reason string) 
 			return a.Team, fmt.Sprintf("%s underpins the other claimants", a.Team)
 		}
 	}
-	sort.Slice(yes, func(i, j int) bool {
-		if yes[i].Confidence != yes[j].Confidence {
-			return yes[i].Confidence > yes[j].Confidence
+	slices.SortFunc(yes, func(a, b Answer) int {
+		if a.Confidence != b.Confidence {
+			return cmp.Compare(b.Confidence, a.Confidence)
 		}
-		return yes[i].Team < yes[j].Team
+		return cmp.Compare(a.Team, b.Team)
 	})
 	return yes[0].Team, fmt.Sprintf("%s's Scout was the most confident of %d claimants", yes[0].Team, len(yes))
 }

@@ -1,8 +1,9 @@
 package master
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Reliability is the historically-measured accuracy profile of one team's
@@ -140,11 +141,11 @@ func (m *MLEMaster) Route(answers []Answer, extraCandidates []string) []TeamPost
 	for i := range out {
 		out[i].Posterior /= z
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Posterior != out[j].Posterior {
-			return out[i].Posterior > out[j].Posterior
+	slices.SortFunc(out, func(a, b TeamPosterior) int {
+		if a.Posterior != b.Posterior {
+			return cmp.Compare(b.Posterior, a.Posterior)
 		}
-		return out[i].Team < out[j].Team
+		return cmp.Compare(a.Team, b.Team)
 	})
 	return out
 }

@@ -226,6 +226,8 @@ func (s SummaryStats) Vector() []float64 {
 // VectorInto writes the statistics into dst (len(SummaryNames) cells) in
 // SummaryNames order — the allocation-free form the featurization hot path
 // uses to fill pooled feature vectors in place.
+//
+//scout:hotpath
 func (s SummaryStats) VectorInto(dst []float64) {
 	dst[0], dst[1], dst[2], dst[3] = s.Mean, s.Std, s.Min, s.Max
 	dst[4], dst[5], dst[6], dst[7] = s.P1, s.P10, s.P25, s.P50

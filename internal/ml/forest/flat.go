@@ -157,6 +157,8 @@ func (ff *flatForest) predictProb(x []float64) float64 {
 // assumes non-NaN input (a NaN would escape a leaf's self-loop); vectors
 // containing NaN take the single-vector kernel, which routes NaN right
 // exactly as the pointer kernel does.
+//
+//scout:hotpath
 func (ff *flatForest) predictBatch(xs [][]float64, out []float64) {
 	feature, threshold, kids, prob := ff.feature, ff.threshold, ff.kids, ff.prob
 	i := 0

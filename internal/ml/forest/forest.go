@@ -204,6 +204,8 @@ func (f *Forest) PredictProb(x []float64) float64 {
 // filled slice is returned. Every probability is bit-identical to the
 // corresponding PredictProb call; dimension-mismatched batches fall back
 // to the guarded per-vector path.
+//
+//scout:hotpath
 func (f *Forest) PredictProbBatch(xs [][]float64, out []float64) []float64 {
 	if cap(out) >= len(xs) {
 		out = out[:len(xs)]

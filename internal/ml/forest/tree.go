@@ -219,6 +219,8 @@ func (t *tree) grow(ctx *splitCtx, p *treeParams, lo, hi, depth int, wSum, wPos 
 // same equal-value-run skip, the same gain expression, and the same
 // strictly-greater tie-break, so both kernels pick identical splits (see
 // DESIGN.md §7 for the tie-handling argument).
+//
+//scout:hotpath
 func bestSplit(ctx *splitCtx, p *treeParams, lo, hi int, wSum, wPos float64) (feat int, thr, gain float64) {
 	dim := ctx.cols.Dim()
 	mtry := p.mtry

@@ -311,6 +311,8 @@ func (s *Store) SeriesWindow(dataset, component string, from, to float64) []floa
 // tables. ok is false for unknown datasets/components and empty windows.
 // Mean/Std derive from the moments (see Stats); the query allocates
 // nothing.
+//
+//scout:hotpath
 func (s *Store) WindowStats(dataset, component string, from, to float64) (Stats, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -347,6 +349,8 @@ func (s *Store) EventsWindow(dataset, component string, from, to float64) []Even
 
 // EventCount returns the number of events in [from, to) for a component —
 // two binary searches, no record materialization.
+//
+//scout:hotpath
 func (s *Store) EventCount(dataset, component string, from, to float64) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

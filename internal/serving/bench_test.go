@@ -70,4 +70,3 @@ func BenchmarkServingPredictBatch(b *testing.B) {
 		}
 	}
 }
-

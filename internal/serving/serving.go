@@ -35,10 +35,15 @@ type Model struct {
 type Store struct {
 	mu     sync.Mutex
 	models []Model
+
+	// Now stamps TrainedAt on published models. It defaults to time.Now;
+	// tests inject a fixed clock so snapshot metadata — and therefore
+	// serialized store contents — are bit-reproducible.
+	Now func() time.Time
 }
 
-// NewStore creates an empty store.
-func NewStore() *Store { return &Store{} }
+// NewStore creates an empty store reading the wall clock.
+func NewStore() *Store { return &Store{Now: time.Now} }
 
 // Put appends a new model version and returns its version number. The
 // snapshot bytes are copied: the store models durable storage, so a caller
@@ -47,9 +52,12 @@ func NewStore() *Store { return &Store{} }
 func (st *Store) Put(team string, snapshot []byte) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.Now == nil { // zero-value Stores still work
+		st.Now = time.Now
+	}
 	v := len(st.models) + 1
 	st.models = append(st.models, Model{
-		Version: v, Team: team, TrainedAt: time.Now().UTC(),
+		Version: v, Team: team, TrainedAt: st.Now().UTC(),
 		Snapshot: bytes.Clone(snapshot),
 	})
 	return v

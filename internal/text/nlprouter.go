@@ -1,9 +1,10 @@
 package text
 
 import (
+	"cmp"
 	"errors"
 	"math"
-	"sort"
+	"slices"
 )
 
 // ConfidenceBand is the categorical confidence the legacy NLP recommender
@@ -133,11 +134,11 @@ func (r *NLPRouter) Rank(doc string) ([]TeamScore, ConfidenceBand) {
 	for t, name := range r.teams {
 		out[t] = TeamScore{Team: name, Score: scores[t] / z}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	slices.SortFunc(out, func(a, b TeamScore) int {
+		if a.Score != b.Score {
+			return cmp.Compare(b.Score, a.Score)
 		}
-		return out[i].Team < out[j].Team
+		return cmp.Compare(a.Team, b.Team)
 	})
 	return out, band(out)
 }

@@ -7,8 +7,9 @@
 package text
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 	"unicode"
 )
@@ -103,11 +104,11 @@ func BuildVocabulary(docs [][]string, opt VocabOptions) *Vocabulary {
 			cands = append(cands, wc{w, c})
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].c != cands[j].c {
-			return cands[i].c > cands[j].c
+	slices.SortFunc(cands, func(a, b wc) int {
+		if a.c != b.c {
+			return cmp.Compare(b.c, a.c)
 		}
-		return cands[i].w < cands[j].w
+		return cmp.Compare(a.w, b.w)
 	})
 	if len(cands) > opt.MaxWords {
 		cands = cands[:opt.MaxWords]
@@ -205,11 +206,11 @@ func ImportantWords(docs [][]string, labels []bool, vocab *Vocabulary, k int) []
 		chi2 := float64(n) * num * num / den
 		scored = append(scored, ws{w, chi2})
 	}
-	sort.Slice(scored, func(i, j int) bool {
-		if scored[i].score != scored[j].score {
-			return scored[i].score > scored[j].score
+	slices.SortFunc(scored, func(a, b ws) int {
+		if a.score != b.score {
+			return cmp.Compare(b.score, a.score)
 		}
-		return scored[i].w < scored[j].w
+		return cmp.Compare(a.w, b.w)
 	})
 	if len(scored) > k {
 		scored = scored[:k]
