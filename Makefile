@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint bench bench-workers bench-smoke loadgen-smoke ci clean
+.PHONY: all build vet test race lint bench bench-workers bench-smoke loadgen-smoke chaos-smoke ci clean
 
 all: ci
 
@@ -54,6 +54,15 @@ bench-smoke:
 loadgen-smoke:
 	$(GO) test -run 'TestLoadgenSmoke' -count 1 ./cmd/loadgen
 
+# Chaos smoke: bounded fault-injection pass under the race detector. The
+# loadgen chaos rotation (malformed JSON, oversized bodies, mid-body
+# disconnects) must draw zero 5xx, and the serving chaos tests (50%
+# monitoring blackout, shedding, deadlines, panic recovery, deterministic
+# degraded answers) must hold with the detector watching.
+chaos-smoke:
+	$(GO) test -race -run 'TestLoadgenChaos' -count 1 ./cmd/loadgen
+	$(GO) test -race -run 'TestChaos|TestShedding|TestPanicRecovery|TestRequestDeadline|TestDegradationOverHTTP' -count 1 ./internal/serving
+
 # Project-specific static analysis (cmd/scoutlint): determinism, map
 # iteration order, reflective sorts, hot-path allocations, lock hygiene
 # and HTTP input hardening. Exits non-zero on any unsuppressed finding;
@@ -61,7 +70,7 @@ loadgen-smoke:
 lint:
 	$(GO) run ./cmd/scoutlint ./...
 
-ci: vet lint build race bench-smoke loadgen-smoke
+ci: vet lint build race bench-smoke loadgen-smoke chaos-smoke
 
 clean:
 	$(GO) clean ./...

@@ -5,7 +5,13 @@
 // Usage:
 //
 //	loadgen [-url http://localhost:8080] [-mode single|batch] [-batch 32]
-//	        [-c 4] [-duration 10s] [-seed 7] [-days 30] [-rate 6]
+//	        [-c 4] [-duration 10s] [-seed 7] [-days 30] [-rate 6] [-chaos]
+//
+// -chaos turns the generator adversarial: alongside valid predictions it
+// rotates malformed JSON, bodies far over the server's size limit, and
+// requests whose body is cut mid-transfer. The report then carries the
+// per-status breakdown and the disconnect count, so a robustness smoke can
+// assert "nothing but 2xx/4xx/429 came back and the server stayed up".
 //
 // The request corpus is generated from the same synthetic cloud simulator
 // scoutd trains on (matching -seed/-days/-rate reproduces its incident
@@ -19,11 +25,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"scouts/internal/cloudsim"
@@ -45,6 +54,13 @@ type Report struct {
 	P50Ms       float64 `json:"p50_ms"`
 	P95Ms       float64 `json:"p95_ms"`
 	P99Ms       float64 `json:"p99_ms"`
+	// StatusCounts breaks responses down by HTTP status ("200", "400",
+	// "429", ...) — the evidence a chaos run leans on to show the server
+	// answered abuse with 4xx instead of 5xx or a crash.
+	StatusCounts map[string]int `json:"status_counts,omitempty"`
+	// Disconnects counts requests loadgen aborted mid-body on purpose
+	// (chaos mode only); they are not errors, they are the experiment.
+	Disconnects int `json:"disconnects,omitempty"`
 }
 
 func main() {
@@ -56,10 +72,17 @@ func main() {
 	seed := flag.Int64("seed", 7, "world seed for the request corpus")
 	days := flag.Int("days", 30, "days of synthetic incidents in the corpus")
 	rate := flag.Float64("rate", 6, "incidents per day in the corpus")
+	chaos := flag.Bool("chaos", false, "interleave malformed JSON, oversized bodies and mid-body disconnects")
 	flag.Parse()
 
 	reqs := corpus(*seed, *days, *rate)
-	rep, err := runLoad(http.DefaultClient, *url, *mode, *batch, *conc, *duration, reqs)
+	var rep Report
+	var err error
+	if *chaos {
+		rep, err = runChaos(http.DefaultClient, *url, *conc, *duration, reqs)
+	} else {
+		rep, err = runLoad(http.DefaultClient, *url, *mode, *batch, *conc, *duration, reqs)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -131,6 +154,7 @@ func runLoad(client *http.Client, baseURL, mode string, batch, conc int, duratio
 	type worker struct {
 		latencies []float64 // milliseconds
 		errors    int
+		statuses  map[int]int
 	}
 	workers := make([]worker, conc)
 	deadline := time.Now().Add(duration)
@@ -139,6 +163,7 @@ func runLoad(client *http.Client, baseURL, mode string, batch, conc int, duratio
 		go func(w int) {
 			defer func() { done <- w }()
 			wk := &workers[w]
+			wk.statuses = map[int]int{}
 			for k := w; time.Now().Before(deadline); k++ {
 				body := payloads[k%len(payloads)]
 				start := time.Now()
@@ -149,6 +174,7 @@ func runLoad(client *http.Client, baseURL, mode string, batch, conc int, duratio
 				}
 				_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
 				resp.Body.Close()
+				wk.statuses[resp.StatusCode]++
 				if resp.StatusCode != http.StatusOK {
 					wk.errors++
 					continue
@@ -169,6 +195,7 @@ func runLoad(client *http.Client, baseURL, mode string, batch, conc int, duratio
 	for i := range workers {
 		all = append(all, workers[i].latencies...)
 		rep.Errors += workers[i].errors
+		mergeStatuses(&rep, workers[i].statuses)
 	}
 	rep.Requests = len(all)
 	rep.Predictions = len(all) * perReq
@@ -178,6 +205,137 @@ func runLoad(client *http.Client, baseURL, mode string, batch, conc int, duratio
 	}
 	// Quantile of an empty sample is NaN, which JSON cannot encode; an
 	// all-errors run reports zeros and a nonzero error count instead.
+	if len(all) > 0 {
+		sort.Float64s(all)
+		rep.P50Ms = metrics.Quantile(all, 0.50)
+		rep.P95Ms = metrics.Quantile(all, 0.95)
+		rep.P99Ms = metrics.Quantile(all, 0.99)
+	}
+	return rep, nil
+}
+
+// mergeStatuses folds one worker's status histogram into the report.
+func mergeStatuses(rep *Report, statuses map[int]int) {
+	for code, n := range statuses {
+		if rep.StatusCounts == nil {
+			rep.StatusCounts = map[string]int{}
+		}
+		rep.StatusCounts[strconv.Itoa(code)] += n
+	}
+}
+
+// abortReader feeds a body prefix then fails the read, so the HTTP client
+// aborts the request mid-body — the torn-upload case a public endpoint
+// sees daily and a server must survive without a 5xx or a crash.
+type abortReader struct {
+	data []byte
+	off  int
+}
+
+var errChaosDisconnect = errors.New("chaos: simulated mid-body disconnect")
+
+func (r *abortReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, errChaosDisconnect
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// runChaos drives the server with a deterministic rotation of valid and
+// adversarial requests: well-formed predictions, malformed JSON, bodies
+// far past the server's 1 MiB predict limit, and uploads disconnected
+// mid-body. It reports the status breakdown instead of judging — the
+// caller (the `make ci` chaos smoke) decides which statuses are
+// acceptable; the hard requirement is only that every request gets an
+// orderly HTTP answer or a client-side abort, never a hung connection.
+func runChaos(client *http.Client, baseURL string, conc int, duration time.Duration, reqs []serving.PredictRequest) (Report, error) {
+	if len(reqs) == 0 {
+		return Report{}, fmt.Errorf("empty request corpus")
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	var valid [][]byte
+	for _, r := range reqs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return Report{}, err
+		}
+		valid = append(valid, b)
+	}
+	// One oversized body, built once: 2 MiB of syntactically valid JSON,
+	// double the server's single-predict limit.
+	oversized := []byte(`{"title":"` + strings.Repeat("a", 2<<20) + `"}`)
+
+	type worker struct {
+		latencies   []float64
+		errors      int
+		disconnects int
+		statuses    map[int]int
+	}
+	workers := make([]worker, conc)
+	deadline := time.Now().Add(duration)
+	done := make(chan int, conc)
+	for w := 0; w < conc; w++ {
+		go func(w int) {
+			defer func() { done <- w }()
+			wk := &workers[w]
+			wk.statuses = map[int]int{}
+			for k := w; time.Now().Before(deadline); k++ {
+				body := valid[k%len(valid)]
+				start := time.Now()
+				var resp *http.Response
+				var err error
+				switch k % 4 {
+				case 0: // well-formed: the control group.
+					resp, err = client.Post(baseURL+"/v1/predict", "application/json", bytes.NewReader(body))
+				case 1: // malformed JSON: truncated object.
+					broken := body[:len(body)/2]
+					resp, err = client.Post(baseURL+"/v1/predict", "application/json", bytes.NewReader(broken))
+				case 2: // oversized body: past MaxBytesReader.
+					resp, err = client.Post(baseURL+"/v1/predict", "application/json", bytes.NewReader(oversized))
+				case 3: // mid-body disconnect.
+					resp, err = client.Post(baseURL+"/v1/predict", "application/json", &abortReader{data: body[:len(body)/2]})
+					if err != nil {
+						wk.disconnects++
+						continue
+					}
+				}
+				if err != nil {
+					wk.errors++
+					continue
+				}
+				_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
+				resp.Body.Close()
+				wk.statuses[resp.StatusCode]++
+				if resp.StatusCode == http.StatusOK {
+					wk.latencies = append(wk.latencies, float64(time.Since(start).Microseconds())/1000)
+				}
+			}
+		}(w)
+	}
+	for range workers {
+		<-done
+	}
+
+	rep := Report{Mode: "chaos", Concurrency: conc, DurationSec: duration.Seconds()}
+	var all []float64
+	for i := range workers {
+		all = append(all, workers[i].latencies...)
+		rep.Errors += workers[i].errors
+		rep.Disconnects += workers[i].disconnects
+		mergeStatuses(&rep, workers[i].statuses)
+	}
+	for _, n := range rep.StatusCounts {
+		rep.Requests += n
+	}
+	rep.Requests += rep.Disconnects
+	rep.Predictions = len(all)
+	if duration > 0 {
+		rep.QPS = float64(rep.Requests) / duration.Seconds()
+	}
 	if len(all) > 0 {
 		sort.Float64s(all)
 		rep.P50Ms = metrics.Quantile(all, 0.50)

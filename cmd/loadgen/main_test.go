@@ -11,11 +11,10 @@ import (
 	"scouts/internal/serving"
 )
 
-// TestLoadgenSmoke drives runLoad — the whole tool minus flag parsing —
-// against an in-process httptest server in both modes. This is the `make
-// ci` smoke: it proves the generator's request encoding, both endpoints
-// and the report math still fit together, without timing anything.
-func TestLoadgenSmoke(t *testing.T) {
+// newTestServer trains a model on the seed-5 corpus world and serves it
+// from an in-process httptest server.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
 	gen := cloudsim.New(cloudsim.Params{Seed: 5, Days: 30, IncidentsPerDay: 6})
 	trace := gen.Generate()
 	cfg, err := core.ParseConfig(core.DefaultPhyNetConfig)
@@ -35,8 +34,16 @@ func TestLoadgenSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	t.Cleanup(ts.Close)
+	return ts
+}
 
+// TestLoadgenSmoke drives runLoad — the whole tool minus flag parsing —
+// against an in-process httptest server in both modes. This is the `make
+// ci` smoke: it proves the generator's request encoding, both endpoints
+// and the report math still fit together, without timing anything.
+func TestLoadgenSmoke(t *testing.T) {
+	ts := newTestServer(t)
 	reqs := corpus(5, 30, 6)
 	if len(reqs) == 0 {
 		t.Fatal("empty corpus")
@@ -65,5 +72,42 @@ func TestLoadgenSmoke(t *testing.T) {
 
 	if _, err := runLoad(ts.Client(), ts.URL, "bogus", 8, 1, time.Millisecond, reqs); err == nil {
 		t.Fatal("unknown mode should error")
+	}
+}
+
+// TestLoadgenChaos is the `make ci` chaos smoke: adversarial traffic —
+// malformed JSON, 2 MiB bodies, mid-body disconnects — must come back as
+// orderly 2xx/4xx answers or client-side aborts. A single 5xx means a
+// handler crashed or leaked an internal error; that fails the build.
+func TestLoadgenChaos(t *testing.T) {
+	ts := newTestServer(t)
+	reqs := corpus(5, 30, 6)
+	rep, err := runChaos(ts.Client(), ts.URL, 2, 400*time.Millisecond, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Disconnects == 0 {
+		t.Fatalf("chaos run too quiet: %+v", rep)
+	}
+	if rep.StatusCounts["200"] == 0 {
+		t.Fatalf("valid requests stopped succeeding under chaos: %+v", rep.StatusCounts)
+	}
+	if rep.StatusCounts["400"] == 0 && rep.StatusCounts["413"] == 0 {
+		t.Fatalf("malformed/oversized requests were not rejected: %+v", rep.StatusCounts)
+	}
+	for code, n := range rep.StatusCounts {
+		if n > 0 && code >= "500" && code <= "599" {
+			t.Fatalf("unexpected server error %s (%d of them): %+v", code, n, rep.StatusCounts)
+		}
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d unexpected transport errors (disconnects are tracked separately)", rep.Errors)
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("report not JSON-encodable: %v", err)
+	}
+	if !json.Valid(out) {
+		t.Fatal("report JSON invalid")
 	}
 }

@@ -9,7 +9,7 @@
 //
 // Experiment IDs: table1 table2 table3 table4 table5 headline latency
 // fig1 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-// fig15 fig16 storage.
+// fig15 fig16 storage outage.
 //
 // Forest training runs on the presorted-columns split kernel and
 // featurization on the O(log n) window-aggregate layer (DESIGN.md §7);
@@ -109,6 +109,10 @@ func catalogue() []experiment {
 		}},
 		{"storage", "Appendix B rule-based Storage Scout", func(l *experiments.Lab) (fmt.Stringer, error) {
 			return experiments.StorageScout(l), nil
+		}},
+		{"outage", "accuracy vs monitoring blackout fraction (JSON)", func(l *experiments.Lab) (fmt.Stringer, error) {
+			r, err := experiments.OutageCurve(l, 0.25)
+			return r, err
 		}},
 	}
 }

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	scoutd [-addr :8080] [-seed 7] [-days 90] [-rate 10] [-workers 0]
+//	       [-max-inflight 64] [-request-timeout 10s] [-min-coverage 0.25]
 //
 // Endpoints:
 //
@@ -16,7 +17,11 @@
 // The server is configured for exposure to untrusted clients (request
 // bodies are size-capped, unknown JSON fields rejected, and header and
 // idle timeouts bound slow-client resource usage) and drains gracefully on
-// SIGINT/SIGTERM so in-flight predictions complete before exit.
+// SIGINT/SIGTERM so in-flight predictions complete before exit. Overload
+// and degraded monitoring are first-class: -max-inflight sheds excess
+// requests with 429 + Retry-After, -request-timeout deadline-bounds every
+// handler, and -min-coverage makes predictions fall back to legacy routing
+// when too few monitoring datasets are live (DESIGN.md §10).
 //
 // Startup training uses the presorted-columns split kernel, and request-time
 // featurization answers window statistics through the monitoring aggregate
@@ -47,15 +52,26 @@ func main() {
 	days := flag.Int("days", 90, "days of synthetic incident history to train on")
 	rate := flag.Float64("rate", 10, "incidents per day")
 	workers := flag.Int("workers", 0, "training/featurization workers (0 = GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 64, "max concurrently-served requests; excess sheds with 429 (0 = unbounded)")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline; overruns answer 503 (0 = none)")
+	minCoverage := flag.Float64("min-coverage", 0.25, "monitoring-coverage floor below which predictions fall back (0 = disabled)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "scoutd: ", log.LstdFlags)
-	if err := run(*addr, *seed, *days, *rate, *workers, logger); err != nil {
+	opts := servingOptions{maxInflight: *maxInflight, requestTimeout: *reqTimeout, minCoverage: *minCoverage}
+	if err := run(*addr, *seed, *days, *rate, *workers, opts, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
 
-func run(addr string, seed int64, days int, rate float64, workers int, logger *log.Logger) error {
+// servingOptions carries the robustness knobs from flags into the server.
+type servingOptions struct {
+	maxInflight    int
+	requestTimeout time.Duration
+	minCoverage    float64
+}
+
+func run(addr string, seed int64, days int, rate float64, workers int, opts servingOptions, logger *log.Logger) error {
 	logger.Printf("generating %d days of synthetic cloud history (seed %d)", days, seed)
 	gen := cloudsim.New(cloudsim.Params{Seed: seed, Days: days, IncidentsPerDay: rate})
 	trace := gen.Generate()
@@ -84,6 +100,9 @@ func run(addr string, seed int64, days int, rate float64, workers int, logger *l
 		scout.Team(), version, time.Since(start).Round(time.Millisecond), scout.TopFeatures(3))
 
 	srv := serving.NewServer(gen.Topology(), gen.Telemetry(), store, logger)
+	srv.MaxInFlight = opts.maxInflight
+	srv.RequestTimeout = opts.requestTimeout
+	srv.Degradation = core.DegradationPolicy{MinCoverage: opts.minCoverage}
 	if err := srv.Reload(); err != nil {
 		return err
 	}

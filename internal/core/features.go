@@ -95,6 +95,11 @@ type FeatureBuilder struct {
 	// statistics and event counts through it so the hot path stops copying
 	// raw windows it only ever reduced to count/mean/std.
 	stats monitoring.StatsSource
+	// health is the source's availability view when it has one (a chaos
+	// wrapper, a circuit breaker), nil otherwise. Imputation prefers it
+	// over registry presence: an outage hides data, not the dataset's
+	// existence, so the feature layout survives the outage.
+	health monitoring.HealthReporter
 
 	groups []featureGroup
 	types  []topology.ComponentType // component types present in the layout
@@ -119,6 +124,7 @@ func NewFeatureBuilder(cfg *Config, topo *topology.Topology, source monitoring.D
 	fb := &FeatureBuilder{
 		cfg: cfg, topo: topo, source: source,
 		stats:      monitoring.StatsSourceOf(source),
+		health:     monitoring.HealthReporterOf(source),
 		slotOf:     map[string]int{},
 		groupSlots: map[string][]int{},
 	}
@@ -494,6 +500,64 @@ func (fb *FeatureBuilder) CPDInput(ex Extraction, t float64) cpd.Input {
 		}
 	}
 	return in
+}
+
+// datasetCount counts the datasets the builder consumes.
+func (fb *FeatureBuilder) datasetCount() int {
+	n := 0
+	for _, g := range fb.groups {
+		n += len(g.datasets)
+	}
+	return n
+}
+
+// sourceHealth reports the availability picture featurization faces at
+// time t: availability per consumed dataset, the unavailable datasets in
+// feature-group order, and the largest admitted staleness (model hours).
+// Sources without the monitoring.HealthReporter capability fall back to
+// registry presence — a dataset deprecated out of Datasets() counts as
+// down, which is exactly the §6 "monitoring system disappeared" case.
+func (fb *FeatureBuilder) sourceHealth(t float64) (av map[string]bool, down []string, maxStale float64) {
+	av = make(map[string]bool, fb.datasetCount())
+	if fb.health != nil {
+		for _, g := range fb.groups {
+			for _, d := range g.datasets {
+				h := fb.health.DatasetHealth(d.Name, t)
+				av[d.Name] = h.Available
+				if h.Staleness > maxStale {
+					maxStale = h.Staleness
+				}
+			}
+		}
+	} else {
+		for _, d := range fb.source.Datasets() {
+			av[d.Name] = true
+		}
+	}
+	for _, g := range fb.groups {
+		for _, d := range g.datasets {
+			if !av[d.Name] {
+				down = append(down, d.Name)
+			}
+		}
+	}
+	return av, down, maxStale
+}
+
+// GroupDatasets lists the dataset names a feature group consumes (empty
+// for class-derived groups that read no telemetry).
+func (fb *FeatureBuilder) GroupDatasets(group string) []string {
+	for _, g := range fb.groups {
+		if g.name != group {
+			continue
+		}
+		out := make([]string, len(g.datasets))
+		for i, d := range g.datasets {
+			out[i] = d.Name
+		}
+		return out
+	}
+	return nil
 }
 
 // DatasetNames lists the dataset names the builder consumes (sorted).

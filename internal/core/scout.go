@@ -42,6 +42,11 @@ type Prediction struct {
 	Model       string  // "rf", "cpd+", "exclude-rule", "none"
 	Components  []string
 	Explanation string
+	// Health, when present, reports the monitoring data quality behind the
+	// answer: imputed feature fraction, unavailable datasets, admitted
+	// staleness (§6). Gate verdicts (excluded, no components) carry none —
+	// they never consult monitoring.
+	Health *DataHealth
 }
 
 // Usable reports whether the prediction can drive routing (fallback
@@ -105,6 +110,9 @@ type Scout struct {
 	// detector holds the change-point parameters used at train time so
 	// cached CPD+ vectors stay consistent at inference.
 	detector cpd.Params
+	// degrade decides when monitoring has degraded too far to answer
+	// through a model (zero value: never).
+	degrade DegradationPolicy
 	// vecs pools the transient feature vectors of the predict paths: a
 	// vector lives only for the span of one prediction (nothing retains
 	// it), so pooling makes request scoring free of per-request
@@ -302,10 +310,21 @@ func (s *Scout) Predict(title, body string, mentioned []string, t float64) Predi
 		return p
 	}
 	if useCPD, pWrong := s.selector.UseCPD(title + "\n" + body); useCPD {
-		return s.predictCPDPath(ex, t, pWrong)
+		h := s.sourceHealth(t)
+		if p, bad := s.degradedPrediction(h, ex); bad {
+			return p
+		}
+		p := s.predictCPDPath(ex, t, pWrong)
+		p.Health = &h
+		return p
 	}
-	x := s.featurizeWithImputationInto(s.getVec(), ex, t)
+	x, h := s.featurizeWithImputationInto(s.getVec(), ex, t)
+	if p, bad := s.degradedPrediction(h, ex); bad {
+		s.putVec(x)
+		return p
+	}
 	p := s.predictRF(x, ex)
+	p.Health = &h
 	s.putVec(x)
 	return p
 }
@@ -327,9 +346,11 @@ type BatchRequest struct {
 // incident and allocates no per-item feature vector.
 func (s *Scout) PredictBatch(reqs []BatchRequest) []Prediction {
 	out := make([]Prediction, len(reqs))
-	// Indices and pooled vectors of the items the supervised model scores.
+	// Indices, pooled vectors and health reports of the items the
+	// supervised model scores.
 	var rfIdx []int
 	var xs [][]float64
+	var hs []DataHealth
 	for i, r := range reqs {
 		ex := s.fb.Extract(r.Title, r.Body, r.Components)
 		if p, done := s.gatePrediction(ex); done {
@@ -337,11 +358,24 @@ func (s *Scout) PredictBatch(reqs []BatchRequest) []Prediction {
 			continue
 		}
 		if useCPD, pWrong := s.selector.UseCPD(r.Title + "\n" + r.Body); useCPD {
+			h := s.sourceHealth(r.Time)
+			if p, bad := s.degradedPrediction(h, ex); bad {
+				out[i] = p
+				continue
+			}
 			out[i] = s.predictCPDPath(ex, r.Time, pWrong)
+			out[i].Health = &h
+			continue
+		}
+		x, h := s.featurizeWithImputationInto(s.getVec(), ex, r.Time)
+		if p, bad := s.degradedPrediction(h, ex); bad {
+			s.putVec(x)
+			out[i] = p
 			continue
 		}
 		rfIdx = append(rfIdx, i)
-		xs = append(xs, s.featurizeWithImputationInto(s.getVec(), ex, r.Time))
+		xs = append(xs, x)
+		hs = append(hs, h)
 		out[i].Components = ex.All()
 	}
 	if len(rfIdx) == 0 {
@@ -360,6 +394,7 @@ func (s *Scout) PredictBatch(reqs []BatchRequest) []Prediction {
 		out[i].Confidence = conf
 		out[i].Model = "rf"
 		out[i].Explanation = s.explainRF(xs[k], label)
+		out[i].Health = &hs[k]
 		s.putVec(xs[k])
 	}
 	return out
@@ -520,17 +555,22 @@ func verdictFor(responsible bool) Verdict {
 // featurizeWithImputationInto builds the feature vector in x (usually a
 // pooled vector), substituting training means for feature groups whose
 // monitoring systems are currently unavailable — exactly what the serving
-// system does when a monitor fails alongside the incident (§6).
-func (s *Scout) featurizeWithImputationInto(x []float64, ex Extraction, t float64) []float64 {
+// system does when a monitor fails alongside the incident (§6) — and
+// reports what it did in a DataHealth so callers (and ultimately
+// operators) can see how much of the answer rests on imputed data.
+func (s *Scout) featurizeWithImputationInto(x []float64, ex Extraction, t float64) ([]float64, DataHealth) {
 	x = s.fb.FeaturizeInto(x, ex, t)
-	available := map[string]bool{}
-	for _, d := range s.fb.source.Datasets() {
-		available[d.Name] = true
+	av, down, maxStale := s.fb.sourceHealth(t)
+	h := DataHealth{
+		TotalSlots:    len(x),
+		DatasetsDown:  down,
+		DatasetsTotal: s.fb.datasetCount(),
+		MaxStaleness:  maxStale,
 	}
 	for _, g := range s.fb.groups {
 		missing := true
 		for _, d := range g.datasets {
-			if available[d.Name] {
+			if av[d.Name] {
 				missing = false
 				break
 			}
@@ -541,8 +581,9 @@ func (s *Scout) featurizeWithImputationInto(x []float64, ex Extraction, t float6
 		for _, slot := range s.fb.groupSlots[g.name] {
 			x[slot] = s.trainMeans[slot]
 		}
+		h.ImputedSlots += len(s.fb.groupSlots[g.name])
 	}
-	return x
+	return x, h
 }
 
 // explainRF renders the paper's operator-facing explanation (§8): the
@@ -618,14 +659,24 @@ func (s *Scout) PredictWithModel(model, title, body string, mentioned []string, 
 		return Prediction{Verdict: VerdictFallback, Model: "none"}
 	}
 	if model == "cpd+" {
+		h := s.sourceHealth(t)
+		if p, bad := s.degradedPrediction(h, ex); bad {
+			return p
+		}
 		label, conf, why := s.cpdPlus.Predict(s.fb.CPDInput(ex, t))
 		return Prediction{
 			Verdict: verdictFor(label), Responsible: label, Confidence: conf,
 			Model: "cpd+", Components: ex.All(), Explanation: why,
+			Health: &h,
 		}
 	}
-	x := s.featurizeWithImputationInto(s.getVec(), ex, t)
+	x, h := s.featurizeWithImputationInto(s.getVec(), ex, t)
+	if p, bad := s.degradedPrediction(h, ex); bad {
+		s.putVec(x)
+		return p
+	}
 	p := s.predictRF(x, ex)
+	p.Health = &h
 	s.putVec(x)
 	return p
 }

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestOutageCurve(t *testing.T) {
+	lab := smallLab(t)
+	r, err := OutageCurve(lab, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Datasets < 2 || len(r.Points) != r.Datasets+1 {
+		t.Fatalf("datasets = %d, points = %d", r.Datasets, len(r.Points))
+	}
+	if r.Incidents == 0 {
+		t.Fatal("no model-path incidents to evaluate")
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if first.BlackoutFraction != 0 || last.BlackoutFraction != 1 {
+		t.Fatalf("sweep must span 0 to 1, got %v .. %v", first.BlackoutFraction, last.BlackoutFraction)
+	}
+	if first.Accuracy <= 0.5 {
+		t.Fatalf("clean accuracy = %v, model should beat a coin", first.Accuracy)
+	}
+	if first.Accuracy != first.RawAccuracy {
+		t.Fatalf("at 0%% blackout retained (%v) and raw (%v) accuracy must agree", first.Accuracy, first.RawAccuracy)
+	}
+	if last.Accuracy != 0 || last.FallbackRate != 1 {
+		t.Fatalf("total blackout must fall back everywhere: %+v", last)
+	}
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Accuracy > r.Points[i-1].Accuracy {
+			t.Fatalf("accuracy not monotone at point %d: %v > %v",
+				i, r.Points[i].Accuracy, r.Points[i-1].Accuracy)
+		}
+		if r.Points[i].DarkDatasets != i {
+			t.Fatalf("point %d darkens %d datasets", i, r.Points[i].DarkDatasets)
+		}
+	}
+	// The String form is the emitted artifact: valid JSON that round-trips.
+	var back OutageCurveResult
+	if err := json.Unmarshal([]byte(r.String()), &back); err != nil {
+		t.Fatalf("String() is not valid JSON: %v", err)
+	}
+	if len(back.Points) != len(r.Points) || back.Datasets != r.Datasets {
+		t.Fatalf("JSON round-trip mangled the curve: %+v", back)
+	}
+
+	// Determinism: a rerun is bit-identical.
+	again, err := OutageCurve(lab, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != r.String() {
+		t.Fatal("outage curve is not deterministic across reruns")
+	}
+}

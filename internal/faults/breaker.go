@@ -1,0 +1,269 @@
+package faults
+
+import (
+	"sync"
+
+	"scouts/internal/monitoring"
+)
+
+// State is a circuit breaker's position.
+type State string
+
+// The classic three breaker states.
+const (
+	// StateClosed: the dataset is trusted; queries flow and failures are
+	// counted.
+	StateClosed State = "closed"
+	// StateOpen: the dataset tripped; queries short-circuit to empty
+	// answers (which featurization imputes over) until the cooldown
+	// elapses.
+	StateOpen State = "open"
+	// StateHalfOpen: the cooldown elapsed; probe queries flow again. One
+	// success closes the breaker, one failure re-opens it.
+	StateHalfOpen State = "half-open"
+)
+
+// BreakerParams tune the per-dataset circuit breakers.
+type BreakerParams struct {
+	// Trip is how many consecutive failed series windows (empty or too
+	// stale) open the breaker. Empty windows are routine for components a
+	// dataset does not cover, and any successful window resets the streak,
+	// so the threshold counts *uninterrupted* emptiness. Default 32.
+	Trip int
+	// Cooldown is how long (model hours) an open breaker short-circuits
+	// before allowing probe traffic. Default 2.
+	Cooldown float64
+	// StaleAfter, when positive, counts a window as failed if the inner
+	// source reports more than this much staleness (model hours) for the
+	// dataset — lagging data trips the breaker like missing data does.
+	StaleAfter float64
+}
+
+func (p BreakerParams) withDefaults() BreakerParams {
+	if p.Trip <= 0 {
+		p.Trip = 32
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 2
+	}
+	return p
+}
+
+// gate is one dataset's breaker state machine. Time comes from query
+// windows (model hours), never from the wall clock, so breaker behavior
+// replays deterministically for a fixed query sequence.
+type gate struct {
+	state    State
+	fails    int
+	openedAt float64
+	trips    int
+}
+
+// Breaker wraps a monitoring.DataSource with a per-dataset circuit
+// breaker: consecutive empty (or too-stale) series windows open the
+// dataset's breaker, an open breaker answers empty windows without
+// touching the inner source, and after a cooldown probe queries test
+// whether the dataset recovered. Breaker implements
+// monitoring.DataSource, monitoring.StatsSource and
+// monitoring.HealthReporter — featurization sees an open breaker as an
+// unavailable dataset and mean-imputes its features.
+//
+// Only time-series queries feed the state machine: most event datasets
+// are legitimately silent for hours (background rates are a handful of
+// events per week), so an empty event window carries no outage signal.
+// Event queries are still short-circuited while the breaker is open.
+type Breaker struct {
+	inner  monitoring.DataSource
+	stats  monitoring.StatsSource
+	health monitoring.HealthReporter // nil when inner has no health capability
+	p      BreakerParams
+
+	mu    sync.Mutex
+	gates map[string]*gate
+}
+
+// NewBreaker installs circuit breakers over every dataset of inner.
+func NewBreaker(inner monitoring.DataSource, p BreakerParams) *Breaker {
+	return &Breaker{
+		inner:  inner,
+		stats:  monitoring.StatsSourceOf(inner),
+		health: monitoring.HealthReporterOf(inner),
+		p:      p.withDefaults(),
+		gates:  map[string]*gate{},
+	}
+}
+
+// Datasets implements monitoring.DataSource (registry passthrough).
+func (b *Breaker) Datasets() []monitoring.Descriptor { return b.inner.Datasets() }
+
+// gateOf returns the dataset's gate, creating a closed one on first use.
+// Callers hold b.mu.
+func (b *Breaker) gateOf(dataset string) *gate {
+	g := b.gates[dataset]
+	if g == nil {
+		g = &gate{state: StateClosed}
+		b.gates[dataset] = g
+	}
+	return g
+}
+
+// begin decides whether a query at time t may reach the inner source.
+// probe marks the query as a half-open trial whose outcome moves the
+// state machine even harder than a closed-state observation.
+func (b *Breaker) begin(dataset string, t float64) (pass, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := b.gateOf(dataset)
+	switch g.state {
+	case StateOpen:
+		if t-g.openedAt < b.p.Cooldown {
+			return false, false
+		}
+		g.state = StateHalfOpen
+		return true, true
+	case StateHalfOpen:
+		return true, true
+	default:
+		return true, false
+	}
+}
+
+// record feeds a series-window outcome into the state machine.
+func (b *Breaker) record(dataset string, t float64, ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := b.gateOf(dataset)
+	if ok {
+		g.fails = 0
+		if g.state != StateClosed {
+			g.state = StateClosed
+		}
+		return
+	}
+	if probe || g.state == StateHalfOpen {
+		g.state = StateOpen
+		g.openedAt = t
+		g.trips++
+		g.fails = 0
+		return
+	}
+	g.fails++
+	if g.fails >= b.p.Trip {
+		g.state = StateOpen
+		g.openedAt = t
+		g.trips++
+		g.fails = 0
+	}
+}
+
+// tooStale reports whether the inner source admits to unacceptable lag.
+func (b *Breaker) tooStale(dataset string, t float64) bool {
+	if b.p.StaleAfter <= 0 || b.health == nil {
+		return false
+	}
+	return b.health.DatasetHealth(dataset, t).Staleness > b.p.StaleAfter
+}
+
+// SeriesWindow implements monitoring.DataSource, gated and observed.
+func (b *Breaker) SeriesWindow(dataset, component string, from, to float64) []float64 {
+	pass, probe := b.begin(dataset, to)
+	if !pass {
+		return nil
+	}
+	vals := b.inner.SeriesWindow(dataset, component, from, to)
+	ok := len(vals) > 0 && !b.tooStale(dataset, to)
+	b.record(dataset, to, ok, probe)
+	if !ok {
+		return nil
+	}
+	return vals
+}
+
+// WindowStats implements monitoring.StatsSource, gated and observed.
+func (b *Breaker) WindowStats(dataset, component string, from, to float64) (monitoring.Stats, bool) {
+	pass, probe := b.begin(dataset, to)
+	if !pass {
+		return monitoring.Stats{}, false
+	}
+	st, ok := b.stats.WindowStats(dataset, component, from, to)
+	ok = ok && !b.tooStale(dataset, to)
+	b.record(dataset, to, ok, probe)
+	if !ok {
+		return monitoring.Stats{}, false
+	}
+	return st, true
+}
+
+// EventsWindow implements monitoring.DataSource: gated (an open breaker
+// answers nothing) but never observed — event silence is not failure.
+func (b *Breaker) EventsWindow(dataset, component string, from, to float64) []monitoring.EventRecord {
+	if pass, _ := b.begin(dataset, to); !pass {
+		return nil
+	}
+	return b.inner.EventsWindow(dataset, component, from, to)
+}
+
+// EventCount implements monitoring.StatsSource, gated like EventsWindow.
+func (b *Breaker) EventCount(dataset, component string, from, to float64) int {
+	if pass, _ := b.begin(dataset, to); !pass {
+		return 0
+	}
+	return b.stats.EventCount(dataset, component, from, to)
+}
+
+// stateAt reads a gate's effective state at time t without advancing the
+// machine: an open gate past its cooldown reports half-open.
+func (b *Breaker) stateAt(dataset string, t float64) (State, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := b.gates[dataset]
+	if g == nil {
+		return StateClosed, 0
+	}
+	if g.state == StateOpen && t-g.openedAt >= b.p.Cooldown {
+		return StateHalfOpen, g.trips
+	}
+	return g.state, g.trips
+}
+
+// DatasetHealth implements monitoring.HealthReporter: the inner source's
+// report (when it has one) overlaid with the breaker's verdict.
+func (b *Breaker) DatasetHealth(dataset string, t float64) monitoring.DatasetHealth {
+	h := monitoring.DatasetHealth{Dataset: dataset, Available: true}
+	if b.health != nil {
+		h = b.health.DatasetHealth(dataset, t)
+	}
+	state, _ := b.stateAt(dataset, t)
+	h.Breaker = string(state)
+	if state == StateOpen {
+		h.Available = false
+	}
+	return h
+}
+
+// HealthSnapshot implements monitoring.HealthReporter.
+func (b *Breaker) HealthSnapshot(t float64) []monitoring.DatasetHealth {
+	ds := b.inner.Datasets()
+	out := make([]monitoring.DatasetHealth, len(ds))
+	for i, d := range ds {
+		out[i] = b.DatasetHealth(d.Name, t)
+	}
+	return out
+}
+
+// Trips returns how many times the dataset's breaker has opened.
+func (b *Breaker) Trips(dataset string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if g := b.gates[dataset]; g != nil {
+		return g.trips
+	}
+	return 0
+}
+
+// Interface conformance checks.
+var (
+	_ monitoring.DataSource     = (*Breaker)(nil)
+	_ monitoring.StatsSource    = (*Breaker)(nil)
+	_ monitoring.HealthReporter = (*Breaker)(nil)
+)

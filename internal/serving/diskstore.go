@@ -1,6 +1,8 @@
 package serving
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,9 +12,27 @@ import (
 	"strings"
 )
 
+// diskEnvelope is the on-disk form of one model version: the serialized
+// Model plus a checksum over exactly those bytes, so a torn write or
+// bit-rot is detected at load time instead of surfacing later as a
+// corrupt snapshot mid-reload.
+type diskEnvelope struct {
+	Checksum string          `json:"checksum"` // "sha256:" + hex of Model
+	Model    json.RawMessage `json:"model"`
+}
+
+func checksumOf(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
 // SaveStore persists every model version of a store to a directory, one
-// JSON file per version (model-000001.json, ...). The directory is created
-// if needed. Writing is atomic per file (write to temp, rename).
+// JSON file per version (model-000001.json, ...). The directory is
+// created if needed. Each file is written crash-safely: the bytes go to a
+// temp file in the same directory, the temp file is fsynced before the
+// atomic rename, and the directory itself is fsynced after, so a crash at
+// any instant leaves either the old file, the new file, or an ignorable
+// *.tmp — never a half-written model under the final name.
 func SaveStore(st *Store, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("serving: creating %s: %w", dir, err)
@@ -21,29 +41,90 @@ func SaveStore(st *Store, dir string) error {
 	models := append([]Model(nil), st.models...)
 	st.mu.Unlock()
 	for _, m := range models {
-		data, err := json.Marshal(m)
+		payload, err := json.Marshal(m)
 		if err != nil {
 			return fmt.Errorf("serving: encoding v%d: %w", m.Version, err)
 		}
+		data, err := json.Marshal(diskEnvelope{Checksum: checksumOf(payload), Model: payload})
+		if err != nil {
+			return fmt.Errorf("serving: enveloping v%d: %w", m.Version, err)
+		}
 		final := filepath.Join(dir, fmt.Sprintf("model-%06d.json", m.Version))
-		tmp := final + ".tmp"
-		if err := os.WriteFile(tmp, data, 0o644); err != nil {
-			return fmt.Errorf("serving: writing %s: %w", tmp, err)
+		if err := writeFileSync(final, data); err != nil {
+			return err
 		}
-		if err := os.Rename(tmp, final); err != nil {
-			return fmt.Errorf("serving: committing %s: %w", final, err)
-		}
+	}
+	return syncDir(dir)
+}
+
+// writeFileSync writes data to path through a same-directory temp file,
+// fsyncing the file before the rename commits it.
+func writeFileSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("serving: writing %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serving: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serving: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serving: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serving: committing %s: %w", path, err)
 	}
 	return nil
 }
 
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Best-effort on filesystems that reject directory fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("serving: syncing %s: %w", dir, err)
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+// LoadReport says what LoadStore found: which versions loaded and which
+// files were quarantined (set aside with reasons) instead of failing the
+// whole load — one rotten version must not take down a store holding
+// good ones.
+type LoadReport struct {
+	Loaded      []int             `json:"loaded"`
+	Quarantined []QuarantinedFile `json:"quarantined,omitempty"`
+}
+
+// QuarantinedFile is one model file LoadStore refused to load. The file
+// is renamed to <name>.quarantined so the next save or load does not trip
+// over it again; Renamed is false if the rename itself failed.
+type QuarantinedFile struct {
+	Name    string `json:"name"`
+	Reason  string `json:"reason"`
+	Renamed bool   `json:"renamed"`
+}
+
 // LoadStore reads a directory written by SaveStore back into a Store.
-// Version numbers are re-derived from the file names, which must be
-// contiguous from 1.
-func LoadStore(dir string) (*Store, error) {
+// Files that fail to read, decode, or checksum are quarantined — renamed
+// to *.quarantined and listed in the report — and the remaining versions
+// load; gaps in the version sequence are tolerated for the same reason.
+// The error is non-nil only when the directory itself cannot be read.
+func LoadStore(dir string) (*Store, *LoadReport, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("serving: reading %s: %w", dir, err)
+		return nil, nil, fmt.Errorf("serving: reading %s: %w", dir, err)
 	}
 	type vf struct {
 		v    int
@@ -63,20 +144,40 @@ func LoadStore(dir string) (*Store, error) {
 		files = append(files, vf{v, name})
 	}
 	slices.SortFunc(files, func(a, b vf) int { return a.v - b.v })
+
 	st := NewStore()
-	for i, f := range files {
-		if f.v != i+1 {
-			return nil, fmt.Errorf("serving: %s: versions not contiguous (want %d)", dir, i+1)
-		}
+	rep := &LoadReport{}
+	quarantine := func(name, reason string) {
+		q := QuarantinedFile{Name: name, Reason: reason}
+		q.Renamed = os.Rename(filepath.Join(dir, name), filepath.Join(dir, name+".quarantined")) == nil
+		rep.Quarantined = append(rep.Quarantined, q)
+	}
+	for _, f := range files {
 		data, err := os.ReadFile(filepath.Join(dir, f.name))
 		if err != nil {
-			return nil, err
+			quarantine(f.name, "read: "+err.Error())
+			continue
+		}
+		var env diskEnvelope
+		if err := json.Unmarshal(data, &env); err != nil || len(env.Model) == 0 {
+			quarantine(f.name, "malformed envelope")
+			continue
+		}
+		if got := checksumOf(env.Model); got != env.Checksum {
+			quarantine(f.name, fmt.Sprintf("checksum mismatch: file says %s, content is %s", env.Checksum, got))
+			continue
 		}
 		var m Model
-		if err := json.Unmarshal(data, &m); err != nil {
-			return nil, fmt.Errorf("serving: decoding %s: %w", f.name, err)
+		if err := json.Unmarshal(env.Model, &m); err != nil {
+			quarantine(f.name, "decoding model: "+err.Error())
+			continue
+		}
+		if m.Version != f.v {
+			quarantine(f.name, fmt.Sprintf("file claims v%d but contains v%d", f.v, m.Version))
+			continue
 		}
 		st.models = append(st.models, m)
+		rep.Loaded = append(rep.Loaded, m.Version)
 	}
-	return st, nil
+	return st, rep, nil
 }

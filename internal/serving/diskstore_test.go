@@ -3,6 +3,7 @@ package serving
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -14,12 +15,12 @@ func TestSaveLoadStoreRoundTrip(t *testing.T) {
 	if err := SaveStore(st, dir); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadStore(dir)
+	loaded, rep, err := LoadStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Versions() != 2 {
-		t.Fatalf("versions = %d", loaded.Versions())
+	if loaded.Versions() != 2 || len(rep.Loaded) != 2 || len(rep.Quarantined) != 0 {
+		t.Fatalf("versions = %d, report = %+v", loaded.Versions(), rep)
 	}
 	m, ok := loaded.Get(2)
 	if !ok || string(m.Snapshot) != `{"a":2}` || m.Team != "PhyNet" {
@@ -37,33 +38,134 @@ func TestLoadStoreIgnoresForeignFiles(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadStore(dir)
+	// A leftover temp file from a crashed save must also be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "model-000002.json.tmp"), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, rep, err := LoadStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Versions() != 1 {
-		t.Fatalf("versions = %d", loaded.Versions())
+	if loaded.Versions() != 1 || len(rep.Quarantined) != 0 {
+		t.Fatalf("versions = %d, report = %+v", loaded.Versions(), rep)
 	}
 }
 
-func TestLoadStoreRejectsGaps(t *testing.T) {
+func TestLoadStoreToleratesGaps(t *testing.T) {
 	dir := t.TempDir()
 	st := NewStore()
 	st.Put("X", []byte("a"))
 	st.Put("X", []byte("b"))
+	st.Put("X", []byte("c"))
 	if err := SaveStore(st, dir); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(filepath.Join(dir, "model-000001.json")); err != nil {
+	if err := os.Remove(filepath.Join(dir, "model-000002.json")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadStore(dir); err == nil {
-		t.Fatal("gap in versions should be rejected")
+	loaded, rep, err := LoadStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Versions() != 2 || len(rep.Quarantined) != 0 {
+		t.Fatalf("versions = %d (report %+v), want the 2 surviving files", loaded.Versions(), rep)
+	}
+	if _, ok := loaded.Get(2); ok {
+		t.Fatal("the deleted version must not resurrect")
+	}
+	if m, ok := loaded.Get(3); !ok || string(m.Snapshot) != "c" {
+		t.Fatalf("v3 = %+v, %v", m, ok)
+	}
+	if m, ok := loaded.Latest(); !ok || m.Version != 3 {
+		t.Fatalf("latest = %+v", m)
+	}
+	// Publishing into the gapped store continues after the highest version.
+	if v := loaded.Put("X", []byte("d")); v != 4 {
+		t.Fatalf("next version = %d, want 4", v)
+	}
+}
+
+func TestLoadStoreQuarantinesCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	st := NewStore()
+	st.Put("X", []byte("good-1"))
+	st.Put("X", []byte("good-2"))
+	st.Put("X", []byte("good-3"))
+	if err := SaveStore(st, dir); err != nil {
+		t.Fatal(err)
+	}
+	// v2: tamper with the model payload, keeping the stale checksum.
+	path2 := filepath.Join(dir, "model-000002.json")
+	data, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"team":"X"`, `"team":"Y"`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper target not found in envelope")
+	}
+	if err := os.WriteFile(path2, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// v3: truncate mid-file (malformed envelope — the torn-write case).
+	path3 := filepath.Join(dir, "model-000003.json")
+	if err := os.WriteFile(path3, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, rep, err := LoadStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Versions() != 1 {
+		t.Fatalf("versions = %d, want only the intact v1", loaded.Versions())
+	}
+	if len(rep.Quarantined) != 2 {
+		t.Fatalf("quarantined = %+v, want 2 entries", rep.Quarantined)
+	}
+	for _, q := range rep.Quarantined {
+		if q.Reason == "" || !q.Renamed {
+			t.Fatalf("quarantine entry incomplete: %+v", q)
+		}
+		if _, err := os.Stat(filepath.Join(dir, q.Name+".quarantined")); err != nil {
+			t.Fatalf("quarantined file not set aside: %v", err)
+		}
+	}
+	// The corrupt files are out of the way: a reload sees only good data.
+	again, rep2, err := LoadStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Versions() != 1 || len(rep2.Quarantined) != 0 {
+		t.Fatalf("second load: versions = %d, report = %+v", again.Versions(), rep2)
+	}
+}
+
+func TestLoadStoreQuarantinesVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st := NewStore()
+	st.Put("X", []byte("a"))
+	if err := SaveStore(st, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Rename v1's file to claim v7: the payload still says version 1.
+	if err := os.Rename(filepath.Join(dir, "model-000001.json"), filepath.Join(dir, "model-000007.json")); err != nil {
+		t.Fatal(err)
+	}
+	loaded, rep, err := LoadStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Versions() != 0 || len(rep.Quarantined) != 1 {
+		t.Fatalf("versions = %d, report = %+v", loaded.Versions(), rep)
+	}
+	if !strings.Contains(rep.Quarantined[0].Reason, "claims v7") {
+		t.Fatalf("reason = %q", rep.Quarantined[0].Reason)
 	}
 }
 
 func TestLoadStoreMissingDir(t *testing.T) {
-	if _, err := LoadStore(filepath.Join(t.TempDir(), "nope")); err == nil {
+	if _, _, err := LoadStore(filepath.Join(t.TempDir(), "nope")); err == nil {
 		t.Fatal("missing directory should error")
 	}
 }
@@ -73,7 +175,7 @@ func TestSaveStoreEmptyOK(t *testing.T) {
 	if err := SaveStore(NewStore(), dir); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadStore(dir)
+	loaded, _, err := LoadStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -48,14 +49,19 @@ func NewStore() *Store { return &Store{Now: time.Now} }
 // Put appends a new model version and returns its version number. The
 // snapshot bytes are copied: the store models durable storage, so a caller
 // later mutating (or recycling) its buffer must not corrupt the stored
-// version.
+// version. Version numbers continue from the highest stored version —
+// a store reloaded around quarantined files may have gaps, and a new
+// publish must never reuse a quarantined version's number.
 func (st *Store) Put(team string, snapshot []byte) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.Now == nil { // zero-value Stores still work
 		st.Now = time.Now
 	}
-	v := len(st.models) + 1
+	v := 1
+	if n := len(st.models); n > 0 {
+		v = st.models[n-1].Version + 1
+	}
 	st.models = append(st.models, Model{
 		Version: v, Team: team, TrainedAt: st.Now().UTC(),
 		Snapshot: bytes.Clone(snapshot),
@@ -75,13 +81,17 @@ func (st *Store) Latest() (Model, bool) {
 }
 
 // Get returns a specific version. Like Latest, the Snapshot is a copy.
+// Lookup is by the model's Version field, not position: stores reloaded
+// around quarantined files may hold non-contiguous versions.
 func (st *Store) Get(version int) (Model, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if version < 1 || version > len(st.models) {
-		return Model{}, false
+	for i := range st.models {
+		if st.models[i].Version == version {
+			return copyModel(st.models[i]), true
+		}
 	}
-	return copyModel(st.models[version-1]), true
+	return Model{}, false
 }
 
 func copyModel(m Model) Model {
@@ -141,6 +151,31 @@ type PredictResponse struct {
 	Explanation    string   `json:"explanation"`
 	Recommendation string   `json:"recommendation"`
 	ModelVersion   int      `json:"model_version"`
+	// DataHealth reports the monitoring quality behind the answer; absent
+	// for gate verdicts, which never consult monitoring.
+	DataHealth *DataHealthInfo `json:"data_health,omitempty"`
+}
+
+// DataHealthInfo is the wire form of a prediction's core.DataHealth: how
+// much of the answer rests on imputed features, which datasets were dark,
+// and how stale the admitted data was.
+type DataHealthInfo struct {
+	ImputedFraction   float64  `json:"imputed_fraction"`
+	DatasetCoverage   float64  `json:"dataset_coverage"`
+	DatasetsDown      []string `json:"datasets_down,omitempty"`
+	MaxStalenessHours float64  `json:"max_staleness_hours"`
+}
+
+func healthInfo(h *core.DataHealth) *DataHealthInfo {
+	if h == nil {
+		return nil
+	}
+	return &DataHealthInfo{
+		ImputedFraction:   h.ImputedFraction(),
+		DatasetCoverage:   h.DatasetCoverage(),
+		DatasetsDown:      h.DatasetsDown,
+		MaxStalenessHours: h.MaxStaleness,
+	}
 }
 
 // BatchPredictRequest is the input of POST /v1/predict:batch: up to
@@ -175,13 +210,37 @@ const (
 )
 
 // Server is the online component: a REST scorer with hot-swappable models.
+//
+// The exported knobs harden it against overload and degraded monitoring;
+// set them before Handler()/Reload() and leave them alone afterwards:
+//
+//   - MaxInFlight > 0 bounds concurrently-served requests; excess load is
+//     shed with 429 + Retry-After instead of queueing without bound.
+//   - RequestTimeout > 0 puts a deadline on every request: the handler
+//     runs under a context that expires, and a request that overruns
+//     answers 503 (http.TimeoutHandler semantics).
+//   - Degradation is applied to every Scout the server loads: predictions
+//     whose monitoring coverage falls below the floor answer
+//     VerdictFallback rather than guessing from imputed means.
 type Server struct {
 	topo   *topology.Topology
 	source monitoring.DataSource
 	store  *Store
 
+	MaxInFlight    int
+	RequestTimeout time.Duration
+	Degradation    core.DegradationPolicy
+
 	current atomic.Pointer[servingModel]
 	logger  *log.Logger
+	// inflight is the shedding semaphore, sized on first Handler() call.
+	inflight chan struct{}
+	// lastTime remembers the largest trigger time (model hours, as float64
+	// bits) any prediction asked about: the serving layer has no model-hours
+	// clock of its own, and /v1/health needs *some* time to evaluate
+	// schedule-driven availability at. Monotonic by construction, never the
+	// wall clock.
+	lastTime atomic.Uint64
 }
 
 type servingModel struct {
@@ -202,7 +261,9 @@ type logDiscard struct{}
 
 func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
 
-// Reload loads the newest snapshot from the store.
+// Reload loads the newest snapshot from the store. The server's
+// degradation policy is installed on every Scout it loads (Restore builds
+// a fresh Scout, so the policy must be re-applied per load).
 func (s *Server) Reload() error {
 	m, ok := s.store.Latest()
 	if !ok {
@@ -212,6 +273,7 @@ func (s *Server) Reload() error {
 	if err != nil {
 		return fmt.Errorf("serving: restoring v%d: %w", m.Version, err)
 	}
+	scout.SetDegradationPolicy(s.Degradation)
 	s.current.Store(&servingModel{scout: scout, version: m.Version})
 	s.logger.Printf("serving: loaded %s scout v%d", m.Team, m.Version)
 	return nil
@@ -227,11 +289,17 @@ func (s *Server) Scout() *core.Scout {
 
 // Handler returns the REST mux:
 //
-//	GET  /v1/health  -> {"status":"ok","model_version":N}
+//	GET  /v1/health  -> {"status":"ok"|"degraded","model_version":N,...}
 //	GET  /v1/model   -> model metadata
 //	POST /v1/reload  -> hot-swap to the latest stored model
 //	POST /v1/predict -> PredictRequest -> PredictResponse
 //	POST /v1/predict:batch -> BatchPredictRequest -> BatchPredictResponse
+//
+// The mux is wrapped in the hardening chain, outermost first: panic
+// recovery (a scoring panic answers 500, it does not kill the process),
+// load shedding (MaxInFlight; beyond it 429 + Retry-After), request
+// deadline (RequestTimeout; an overrun answers 503 and the handler's
+// context expires so in-flight scoring stops).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/health", s.handleHealth)
@@ -239,7 +307,70 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/predict:batch", s.handlePredictBatch)
-	return mux
+	var h http.Handler = mux
+	if s.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, s.RequestTimeout, `{"error":"request deadline exceeded"}`)
+	}
+	if s.MaxInFlight > 0 {
+		if s.inflight == nil {
+			s.inflight = make(chan struct{}, s.MaxInFlight)
+		}
+		h = s.withShedding(h)
+	}
+	return s.withRecover(h)
+}
+
+// withShedding admits at most MaxInFlight concurrent requests; the rest
+// are shed immediately with 429 and a Retry-After hint rather than queued
+// (queued requests would stack deadlines and fail slowly — overload
+// should fail fast and cheap).
+func (s *Server) withShedding(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			s.writeJSON(w, http.StatusTooManyRequests,
+				errorBody{Error: fmt.Sprintf("server at capacity (%d in flight); retry shortly", s.MaxInFlight)})
+		}
+	})
+}
+
+// withRecover turns a handler panic into a logged 500: one poisoned
+// request must not take down every other incident's scorer. The
+// net/http abort sentinel is re-raised — it is control flow, not a bug.
+func (s *Server) withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.logger.Printf("serving: panic in %s %s: %v", r.Method, r.URL.Path, rec)
+			s.writeJSON(w, http.StatusInternalServerError, errorBody{Error: "internal server error"})
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// observeTime feeds a request's trigger time into the health clock
+// (monotonic max of all times seen).
+func (s *Server) observeTime(t float64) {
+	bits := math.Float64bits(t)
+	for {
+		old := s.lastTime.Load()
+		if math.Float64frombits(old) >= t {
+			return
+		}
+		if s.lastTime.CompareAndSwap(old, bits) {
+			return
+		}
+	}
 }
 
 // encodeBufs pools the response-encoding buffers: encoding into a pooled
@@ -292,13 +423,32 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// handleHealth answers 200 with status "ok", or status "degraded" plus
+// the per-dataset picture when the data source admits to trouble (an
+// outage schedule, an open circuit breaker). Degraded is still 200: the
+// server can serve — with imputation and fallbacks — and a load balancer
+// should not evict it for its monitoring substrate's problems. 503 stays
+// reserved for "no model loaded".
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	m := s.current.Load()
 	if m == nil {
 		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no model loaded"})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "model_version": m.version})
+	body := map[string]any{"status": "ok", "model_version": m.version}
+	if hr := monitoring.HealthReporterOf(s.source); hr != nil {
+		t := math.Float64frombits(s.lastTime.Load())
+		snap := hr.HealthSnapshot(t)
+		for _, h := range snap {
+			if !h.Available || h.Breaker == "open" || h.Staleness > 0 {
+				body["status"] = "degraded"
+				break
+			}
+		}
+		body["data_health"] = snap
+		body["health_time"] = t
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
@@ -354,6 +504,7 @@ func (m *servingModel) response(p core.Prediction) PredictResponse {
 		Explanation:    p.Explanation,
 		Recommendation: recommendation(m.scout.Team(), p),
 		ModelVersion:   m.version,
+		DataHealth:     healthInfo(p.Health),
 	}
 }
 
@@ -371,6 +522,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: msg})
 		return
 	}
+	s.observeTime(req.Time)
 	p := m.scout.Predict(req.Title, req.Body, req.Components, req.Time)
 	s.writeJSON(w, http.StatusOK, m.response(p))
 }
@@ -419,11 +571,22 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		batch = append(batch, core.BatchRequest{
 			Title: it.Title, Body: it.Body, Components: it.Components, Time: it.Time,
 		})
+		s.observeTime(it.Time)
 	}
-	preds := m.scout.PredictBatch(batch)
-	for k, i := range valid {
-		pr := m.response(preds[k])
-		resp.Results[i].Prediction = &pr
+	// Score in chunks and honor the request deadline between chunks: once
+	// the context expires (http.TimeoutHandler has already answered 503),
+	// finishing the batch would burn CPU on an answer nobody receives.
+	const chunk = 32
+	ctx := r.Context()
+	for lo := 0; lo < len(batch); lo += chunk {
+		if ctx.Err() != nil {
+			return
+		}
+		hi := min(lo+chunk, len(batch))
+		for k, p := range m.scout.PredictBatch(batch[lo:hi]) {
+			pr := m.response(p)
+			resp.Results[valid[lo+k]].Prediction = &pr
+		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
