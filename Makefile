@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint bench bench-workers bench-smoke loadgen-smoke chaos-smoke ci clean
+.PHONY: all build vet test race lint bench bench-workers bench-smoke loadgen-smoke chaos-smoke soak-smoke soak ci clean
 
 all: ci
 
@@ -63,6 +63,31 @@ chaos-smoke:
 	$(GO) test -race -run 'TestLoadgenChaos' -count 1 ./cmd/loadgen
 	$(GO) test -race -run 'TestChaos|TestShedding|TestPanicRecovery|TestRequestDeadline|TestDegradationOverHTTP' -count 1 ./internal/serving
 
+# Soak smoke: a ~2s sustained run against an in-process server with
+# sub-second /metrics scrapes — proves the soak loop, the Prometheus
+# scrape parser and the SLO verdict math against the live exposition
+# format, without booting a real daemon.
+soak-smoke:
+	$(GO) test -run 'TestLoadgenSoak|TestParseProm' -count 1 ./cmd/loadgen
+
+# End-to-end soak: boots a real scoutd, drives sustained -soak traffic
+# at it, and writes the SLO-judged report — client-side latency
+# percentiles plus the server's own /metrics counters — to
+# BENCH_PR6.json. Deliberately not part of `make ci` (it trains a model
+# and times a real server); soak-smoke covers the plumbing there.
+soak:
+	$(GO) build -o /tmp/scouts-soak-scoutd ./cmd/scoutd
+	@set -e; \
+	/tmp/scouts-soak-scoutd -addr 127.0.0.1:8093 -days 30 -rate 6 -access-log & \
+	pid=$$!; trap "kill $$pid 2>/dev/null || true" EXIT; \
+	for i in $$(seq 1 120); do \
+		curl -fsS http://127.0.0.1:8093/v1/health >/dev/null 2>&1 && break; \
+		sleep 1; \
+	done; \
+	$(GO) run ./cmd/loadgen -url http://127.0.0.1:8093 -soak -mode batch -batch 32 \
+		-seed 7 -days 30 -rate 6 -c 4 -duration 10s -scrape 1s -slo-p99 250 -out BENCH_PR6.json
+	@cat BENCH_PR6.json
+
 # Project-specific static analysis (cmd/scoutlint): determinism, map
 # iteration order, reflective sorts, hot-path allocations, lock hygiene
 # and HTTP input hardening. Exits non-zero on any unsuppressed finding;
@@ -70,7 +95,7 @@ chaos-smoke:
 lint:
 	$(GO) run ./cmd/scoutlint ./...
 
-ci: vet lint build race bench-smoke loadgen-smoke chaos-smoke
+ci: vet lint build race bench-smoke loadgen-smoke chaos-smoke soak-smoke
 
 clean:
 	$(GO) clean ./...

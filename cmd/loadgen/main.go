@@ -58,6 +58,15 @@ type Report struct {
 	// "429", ...) — the evidence a chaos run leans on to show the server
 	// answered abuse with 4xx instead of 5xx or a crash.
 	StatusCounts map[string]int `json:"status_counts,omitempty"`
+	// ChaosRequests counts the adversarial requests a -chaos run sent
+	// (malformed, oversized, torn uploads). They are bookkept apart from
+	// Requests so QPS and the latency percentiles describe only
+	// well-formed traffic: a 2 MiB upload rejected at the size cap is
+	// neither a served request nor a latency sample, and folding it in
+	// (as earlier versions did) understated both numbers.
+	ChaosRequests int `json:"chaos_requests,omitempty"`
+	// ChaosStatusCounts is the status breakdown of ChaosRequests only.
+	ChaosStatusCounts map[string]int `json:"chaos_status_counts,omitempty"`
 	// Disconnects counts requests loadgen aborted mid-body on purpose
 	// (chaos mode only); they are not errors, they are the experiment.
 	Disconnects int `json:"disconnects,omitempty"`
@@ -73,26 +82,48 @@ func main() {
 	days := flag.Int("days", 30, "days of synthetic incidents in the corpus")
 	rate := flag.Float64("rate", 6, "incidents per day in the corpus")
 	chaos := flag.Bool("chaos", false, "interleave malformed JSON, oversized bodies and mid-body disconnects")
+	soak := flag.Bool("soak", false, "sustained run with periodic /metrics scrapes and an SLO verdict")
+	sloP99 := flag.Float64("slo-p99", 250, "soak SLO: p99 latency ceiling in milliseconds")
+	sloErrs := flag.Float64("slo-error-rate", 0.01, "soak SLO: max fraction of requests answered non-200 or failed")
+	scrape := flag.Duration("scrape", 2*time.Second, "soak /metrics scrape interval")
+	outPath := flag.String("out", "", "also write the JSON report to this file")
 	flag.Parse()
 
 	reqs := corpus(*seed, *days, *rate)
-	var rep Report
+	var doc any
 	var err error
-	if *chaos {
-		rep, err = runChaos(http.DefaultClient, *url, *conc, *duration, reqs)
-	} else {
-		rep, err = runLoad(http.DefaultClient, *url, *mode, *batch, *conc, *duration, reqs)
+	exitCode := 0
+	switch {
+	case *chaos:
+		doc, err = runChaos(http.DefaultClient, *url, *conc, *duration, reqs)
+	case *soak:
+		var sr SoakReport
+		sr, err = runSoak(http.DefaultClient, *url, *mode, *batch, *conc, *duration, *scrape,
+			SLO{P99Ms: *sloP99, MaxErrorRate: *sloErrs}, reqs)
+		doc = sr
+		if err == nil && !sr.SLO.Pass {
+			exitCode = 2 // SLO verdict failed; the report below says why
+		}
+	default:
+		doc, err = runLoad(http.DefaultClient, *url, *mode, *batch, *conc, *duration, reqs)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
-	out, err := json.MarshalIndent(rep, "", "  ")
+	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println(string(out))
+	os.Exit(exitCode)
 }
 
 // corpus builds the request payloads from a synthetic trace.
@@ -195,7 +226,7 @@ func runLoad(client *http.Client, baseURL, mode string, batch, conc int, duratio
 	for i := range workers {
 		all = append(all, workers[i].latencies...)
 		rep.Errors += workers[i].errors
-		mergeStatuses(&rep, workers[i].statuses)
+		mergeStatuses(&rep.StatusCounts, workers[i].statuses)
 	}
 	rep.Requests = len(all)
 	rep.Predictions = len(all) * perReq
@@ -214,13 +245,13 @@ func runLoad(client *http.Client, baseURL, mode string, batch, conc int, duratio
 	return rep, nil
 }
 
-// mergeStatuses folds one worker's status histogram into the report.
-func mergeStatuses(rep *Report, statuses map[int]int) {
+// mergeStatuses folds one worker's status histogram into a report map.
+func mergeStatuses(dst *map[string]int, statuses map[int]int) {
 	for code, n := range statuses {
-		if rep.StatusCounts == nil {
-			rep.StatusCounts = map[string]int{}
+		if *dst == nil {
+			*dst = map[string]int{}
 		}
-		rep.StatusCounts[strconv.Itoa(code)] += n
+		(*dst)[strconv.Itoa(code)] += n
 	}
 }
 
@@ -270,10 +301,11 @@ func runChaos(client *http.Client, baseURL string, conc int, duration time.Durat
 	oversized := []byte(`{"title":"` + strings.Repeat("a", 2<<20) + `"}`)
 
 	type worker struct {
-		latencies   []float64
-		errors      int
-		disconnects int
-		statuses    map[int]int
+		latencies     []float64
+		errors        int
+		disconnects   int
+		statuses      map[int]int
+		chaosStatuses map[int]int
 	}
 	workers := make([]worker, conc)
 	deadline := time.Now().Add(duration)
@@ -283,11 +315,13 @@ func runChaos(client *http.Client, baseURL string, conc int, duration time.Durat
 			defer func() { done <- w }()
 			wk := &workers[w]
 			wk.statuses = map[int]int{}
+			wk.chaosStatuses = map[int]int{}
 			for k := w; time.Now().Before(deadline); k++ {
 				body := valid[k%len(valid)]
 				start := time.Now()
 				var resp *http.Response
 				var err error
+				adversarial := k%4 != 0
 				switch k % 4 {
 				case 0: // well-formed: the control group.
 					resp, err = client.Post(baseURL+"/v1/predict", "application/json", bytes.NewReader(body))
@@ -309,6 +343,13 @@ func runChaos(client *http.Client, baseURL string, conc int, duration time.Durat
 				}
 				_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
 				resp.Body.Close()
+				// Adversarial traffic is bookkept apart: its responses land
+				// in the chaos histogram and never in the latency samples,
+				// so QPS and percentiles describe well-formed traffic only.
+				if adversarial {
+					wk.chaosStatuses[resp.StatusCode]++
+					continue
+				}
 				wk.statuses[resp.StatusCode]++
 				if resp.StatusCode == http.StatusOK {
 					wk.latencies = append(wk.latencies, float64(time.Since(start).Microseconds())/1000)
@@ -326,12 +367,16 @@ func runChaos(client *http.Client, baseURL string, conc int, duration time.Durat
 		all = append(all, workers[i].latencies...)
 		rep.Errors += workers[i].errors
 		rep.Disconnects += workers[i].disconnects
-		mergeStatuses(&rep, workers[i].statuses)
+		mergeStatuses(&rep.StatusCounts, workers[i].statuses)
+		mergeStatuses(&rep.ChaosStatusCounts, workers[i].chaosStatuses)
 	}
 	for _, n := range rep.StatusCounts {
 		rep.Requests += n
 	}
-	rep.Requests += rep.Disconnects
+	for _, n := range rep.ChaosStatusCounts {
+		rep.ChaosRequests += n
+	}
+	rep.ChaosRequests += rep.Disconnects
 	rep.Predictions = len(all)
 	if duration > 0 {
 		rep.QPS = float64(rep.Requests) / duration.Seconds()

@@ -86,18 +86,42 @@ func TestLoadgenChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Requests == 0 || rep.Disconnects == 0 {
+	if rep.Requests == 0 || rep.ChaosRequests == 0 || rep.Disconnects == 0 {
 		t.Fatalf("chaos run too quiet: %+v", rep)
 	}
 	if rep.StatusCounts["200"] == 0 {
 		t.Fatalf("valid requests stopped succeeding under chaos: %+v", rep.StatusCounts)
 	}
-	if rep.StatusCounts["400"] == 0 && rep.StatusCounts["413"] == 0 {
-		t.Fatalf("malformed/oversized requests were not rejected: %+v", rep.StatusCounts)
+	if rep.ChaosStatusCounts["400"] == 0 && rep.ChaosStatusCounts["413"] == 0 {
+		t.Fatalf("malformed/oversized requests were not rejected: %+v", rep.ChaosStatusCounts)
 	}
-	for code, n := range rep.StatusCounts {
-		if n > 0 && code >= "500" && code <= "599" {
-			t.Fatalf("unexpected server error %s (%d of them): %+v", code, n, rep.StatusCounts)
+	// The accounting split: adversarial responses must not leak into the
+	// control-group numbers. The rotation sends non-disconnect chaos
+	// traffic only to 4xx-producing cases, so any 400/413 in the control
+	// histogram — or any 200 among the chaos statuses — is a misfile.
+	if rep.StatusCounts["400"] != 0 || rep.StatusCounts["413"] != 0 {
+		t.Fatalf("adversarial rejections leaked into StatusCounts: %+v", rep.StatusCounts)
+	}
+	if rep.ChaosStatusCounts["200"] != 0 {
+		t.Fatalf("well-formed responses leaked into ChaosStatusCounts: %+v", rep.ChaosStatusCounts)
+	}
+	// Latency and QPS describe only the control group: every latency
+	// sample came from a 200 and Requests counts control traffic alone.
+	if rep.Predictions != rep.StatusCounts["200"] {
+		t.Fatalf("latency samples (%d) != control 200s (%d)", rep.Predictions, rep.StatusCounts["200"])
+	}
+	wantReqs := 0
+	for _, n := range rep.StatusCounts {
+		wantReqs += n
+	}
+	if rep.Requests != wantReqs {
+		t.Fatalf("Requests=%d, want sum of control statuses %d", rep.Requests, wantReqs)
+	}
+	for _, counts := range []map[string]int{rep.StatusCounts, rep.ChaosStatusCounts} {
+		for code, n := range counts {
+			if n > 0 && code >= "500" && code <= "599" {
+				t.Fatalf("unexpected server error %s (%d of them): %+v", code, n, counts)
+			}
 		}
 	}
 	if rep.Errors != 0 {
@@ -109,5 +133,93 @@ func TestLoadgenChaos(t *testing.T) {
 	}
 	if !json.Valid(out) {
 		t.Fatal("report JSON invalid")
+	}
+}
+
+// TestLoadgenSoak is the `make ci` soak smoke: a ~2s sustained run
+// against an in-process server with sub-second /metrics scrapes. It
+// proves the scrape parser understands the server's exposition, the
+// server-side counters land in the report, and the SLO verdict math
+// fires in both directions.
+func TestLoadgenSoak(t *testing.T) {
+	ts := newTestServer(t)
+	reqs := corpus(5, 30, 6)
+	slo := SLO{P99Ms: 60_000, MaxErrorRate: 0.01} // generous: the smoke tests plumbing, not speed
+	sr, err := runSoak(ts.Client(), ts.URL, "single", 0, 2, 1500*time.Millisecond, 200*time.Millisecond, slo, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Mode != "soak-single" {
+		t.Fatalf("mode = %q", sr.Mode)
+	}
+	if sr.Requests == 0 || sr.Errors != 0 {
+		t.Fatalf("soak drove no clean traffic: %+v", sr.Report)
+	}
+	if sr.Scrapes < 3 {
+		t.Fatalf("only %d scrapes in a 1.5s run at 200ms", sr.Scrapes)
+	}
+	if sr.ScrapeErrors != 0 {
+		t.Fatalf("%d scrape errors", sr.ScrapeErrors)
+	}
+	// The final scrape must carry the server's view of the run, and the
+	// server must have counted at least as many predict requests as the
+	// client got answers for (the server also sees the scrape traffic).
+	served := sr.Metrics[`scout_http_requests_total{code="200",endpoint="/v1/predict"}`]
+	if int(served) < sr.Requests {
+		t.Fatalf("server counted %.0f predict 200s, client saw %d", served, sr.Requests)
+	}
+	for _, want := range []string{
+		"scout_model_version",
+		"scout_http_panics_recovered_total",
+		`scout_http_request_duration_seconds_count{endpoint="/v1/predict"}`,
+	} {
+		if _, ok := sr.Metrics[want]; !ok {
+			t.Fatalf("final scrape missing %q; have %v", want, metricNames(sr.Metrics))
+		}
+	}
+	if sr.Metrics[`scout_http_request_duration_seconds_count{endpoint="/v1/predict"}`] < served {
+		t.Fatal("latency histogram undercounts the predict endpoint")
+	}
+	if !sr.SLO.Pass || len(sr.SLO.Violations) != 0 {
+		t.Fatalf("soak verdict failed: %+v", sr.SLO)
+	}
+	if sr.SLO.ErrorRate != 0 {
+		t.Fatalf("error rate %.4f, want 0", sr.SLO.ErrorRate)
+	}
+	if _, err := json.Marshal(sr); err != nil {
+		t.Fatalf("report not JSON-encodable: %v", err)
+	}
+
+	// The verdict must also fail honestly: an impossible latency SLO
+	// flips Pass off and names the violation.
+	strict := judge(SLO{P99Ms: 0.000001, MaxErrorRate: 0}, &sr)
+	if strict.Pass || len(strict.Violations) == 0 {
+		t.Fatalf("impossible SLO passed: %+v", strict)
+	}
+}
+
+// TestParseProm pins the scrape parser against a hand-built exposition.
+func TestParseProm(t *testing.T) {
+	m, err := parseProm(`# HELP x y
+# TYPE x counter
+x 3
+scout_d_bucket{endpoint="/p",le="0.1"} 4
+scout_d_sum{endpoint="/p"} 1.5
+scout_d_count{endpoint="/p"} 4
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("parsed %d series, want 3 (buckets dropped): %v", len(m), metricNames(m))
+	}
+	if m["x"] != 3 || m[`scout_d_sum{endpoint="/p"}`] != 1.5 {
+		t.Fatalf("bad values: %v", m)
+	}
+	if _, err := parseProm("not a metric line"); err == nil {
+		t.Fatal("garbage should not parse")
+	}
+	if _, err := parseProm("# only comments\n"); err == nil {
+		t.Fatal("empty payload should error")
 	}
 }

@@ -5,11 +5,13 @@
 //
 //	scoutd [-addr :8080] [-seed 7] [-days 90] [-rate 10] [-workers 0]
 //	       [-max-inflight 64] [-request-timeout 10s] [-min-coverage 0.25]
+//	       [-instance scoutd] [-access-log]
 //
 // Endpoints:
 //
 //	GET  /v1/health
 //	GET  /v1/model
+//	GET  /metrics    Prometheus text exposition (see README "Observability")
 //	POST /v1/reload
 //	POST /v1/predict   {"title": ..., "body": ..., "components": [...], "time": h}
 //	POST /v1/predict:batch   {"items": [<predict request>, ...]} (max 256 items)
@@ -22,6 +24,14 @@
 // requests with 429 + Retry-After, -request-timeout deadline-bounds every
 // handler, and -min-coverage makes predictions fall back to legacy routing
 // when too few monitoring datasets are live (DESIGN.md §10).
+//
+// The process observes itself (DESIGN.md §11): GET /metrics exports
+// per-endpoint request and latency series, prediction/fallback/imputation
+// counters, model gauges and per-dataset circuit-breaker state — scoutd
+// serves its monitoring through faults.NewBreaker so dataset outages trip
+// visibly. -access-log streams one JSON line per request (with the
+// request ID every response echoes in X-Request-Id) to stderr; -instance
+// prefixes those request IDs so replicas never collide.
 //
 // Startup training uses the presorted-columns split kernel, and request-time
 // featurization answers window statistics through the monitoring aggregate
@@ -43,7 +53,9 @@ import (
 
 	"scouts/internal/cloudsim"
 	"scouts/internal/core"
+	"scouts/internal/faults"
 	"scouts/internal/serving"
+	"scouts/internal/telemetry"
 )
 
 func main() {
@@ -55,10 +67,15 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "max concurrently-served requests; excess sheds with 429 (0 = unbounded)")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline; overruns answer 503 (0 = none)")
 	minCoverage := flag.Float64("min-coverage", 0.25, "monitoring-coverage floor below which predictions fall back (0 = disabled)")
+	instance := flag.String("instance", "scoutd", "instance ID prefixed to request IDs (X-Request-Id)")
+	accessLog := flag.Bool("access-log", false, "write one structured JSON line per request to stderr")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "scoutd: ", log.LstdFlags)
-	opts := servingOptions{maxInflight: *maxInflight, requestTimeout: *reqTimeout, minCoverage: *minCoverage}
+	opts := servingOptions{
+		maxInflight: *maxInflight, requestTimeout: *reqTimeout, minCoverage: *minCoverage,
+		instance: *instance, accessLog: *accessLog,
+	}
 	if err := run(*addr, *seed, *days, *rate, *workers, opts, logger); err != nil {
 		logger.Fatal(err)
 	}
@@ -69,6 +86,8 @@ type servingOptions struct {
 	maxInflight    int
 	requestTimeout time.Duration
 	minCoverage    float64
+	instance       string
+	accessLog      bool
 }
 
 func run(addr string, seed int64, days int, rate float64, workers int, opts servingOptions, logger *log.Logger) error {
@@ -99,10 +118,21 @@ func run(addr string, seed int64, days int, rate float64, workers int, opts serv
 	logger.Printf("trained %s scout v%d in %v (top features: %v)",
 		scout.Team(), version, time.Since(start).Round(time.Millisecond), scout.TopFeatures(3))
 
-	srv := serving.NewServer(gen.Topology(), gen.Telemetry(), store, logger)
+	// Serve through a circuit breaker even though training used the raw
+	// source: request-time featurization must degrade in bounded time when
+	// a dataset goes dark, and the breaker's per-dataset state is part of
+	// the /metrics surface (scout_breaker_state, scout_breaker_trips_total).
+	source := faults.NewBreaker(gen.Telemetry(), faults.BreakerParams{})
+	srv := serving.NewServer(gen.Topology(), source, store, logger)
 	srv.MaxInFlight = opts.maxInflight
 	srv.RequestTimeout = opts.requestTimeout
 	srv.Degradation = core.DegradationPolicy{MinCoverage: opts.minCoverage}
+	srv.InstanceID = opts.instance
+	if opts.accessLog {
+		al := telemetry.NewLogger(os.Stderr, telemetry.F("component", "scoutd"), telemetry.F("instance", opts.instance))
+		al.Now = time.Now
+		srv.Access = al
+	}
 	if err := srv.Reload(); err != nil {
 		return err
 	}

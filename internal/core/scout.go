@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"slices"
@@ -113,6 +114,13 @@ type Scout struct {
 	// degrade decides when monitoring has degraded too far to answer
 	// through a model (zero value: never).
 	degrade DegradationPolicy
+	// obs, when set, sees every prediction the request paths produce
+	// (single and batch) together with the request context, so the
+	// serving layer can count models, fallbacks and imputation and tie
+	// degradation events to request IDs. Never serialized; Restore
+	// builds observer-less Scouts and the server re-installs its
+	// observer on every load.
+	obs PredictObserver
 	// vecs pools the transient feature vectors of the predict paths: a
 	// vector lives only for the span of one prediction (nothing retains
 	// it), so pooling makes request scoring free of per-request
@@ -298,6 +306,22 @@ func Train(opt TrainOptions) (*Scout, error) {
 	return s, nil
 }
 
+// PredictObserver sees every prediction the request-scoring paths
+// produce. The context is the request context, so an observer can read
+// the request ID (telemetry.RequestID) and attribute fallbacks and
+// imputation to the request that suffered them. Implementations run on
+// the predict hot path: they must be lock-free and allocation-free for
+// non-fallback predictions (atomic counter bumps; logging only on the
+// cold fallback branch).
+type PredictObserver interface {
+	ObservePrediction(ctx context.Context, p *Prediction)
+}
+
+// SetObserver installs the prediction observer (nil disables). Install
+// before serving traffic; the field is read unsynchronized on every
+// prediction.
+func (s *Scout) SetObserver(o PredictObserver) { s.obs = o }
+
 // Predict classifies one incident at trigger time t using the text and the
 // structured component mentions available at that time. The end-to-end
 // pipeline of §5.3: exclusion rules → component gate → model selector →
@@ -305,6 +329,21 @@ func Train(opt TrainOptions) (*Scout, error) {
 // vector is drawn from the Scout's pool, so a prediction produces no
 // per-request feature-vector garbage.
 func (s *Scout) Predict(title, body string, mentioned []string, t float64) Prediction {
+	return s.PredictCtx(context.Background(), title, body, mentioned, t)
+}
+
+// PredictCtx is Predict carrying a request context: the answer is
+// identical, and the installed observer (if any) sees the prediction
+// together with the context's request ID.
+func (s *Scout) PredictCtx(ctx context.Context, title, body string, mentioned []string, t float64) Prediction {
+	p := s.predict(title, body, mentioned, t)
+	if s.obs != nil {
+		s.obs.ObservePrediction(ctx, &p)
+	}
+	return p
+}
+
+func (s *Scout) predict(title, body string, mentioned []string, t float64) Prediction {
 	ex := s.fb.Extract(title, body, mentioned)
 	if p, done := s.gatePrediction(ex); done {
 		return p
@@ -345,6 +384,25 @@ type BatchRequest struct {
 // vectors, so a batch streams the flat forest once instead of once per
 // incident and allocates no per-item feature vector.
 func (s *Scout) PredictBatch(reqs []BatchRequest) []Prediction {
+	return s.PredictBatchCtx(context.Background(), reqs)
+}
+
+// PredictBatchCtx is PredictBatch carrying a request context: answers
+// are identical, and the installed observer (if any) sees every item's
+// prediction under the batch request's context — the request ID
+// propagates from the serving middleware through the batch scorer to
+// each degradation fallback.
+func (s *Scout) PredictBatchCtx(ctx context.Context, reqs []BatchRequest) []Prediction {
+	out := s.predictBatch(reqs)
+	if s.obs != nil {
+		for i := range out {
+			s.obs.ObservePrediction(ctx, &out[i])
+		}
+	}
+	return out
+}
+
+func (s *Scout) predictBatch(reqs []BatchRequest) []Prediction {
 	out := make([]Prediction, len(reqs))
 	// Indices, pooled vectors and health reports of the items the
 	// supervised model scores.

@@ -91,6 +91,7 @@ func All() []*Analyzer {
 		HotPath,
 		Locks,
 		HTTPGuard,
+		Obs,
 	}
 }
 

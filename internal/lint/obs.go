@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Obs extends PR 6's self-observability plane to every future endpoint:
+// a route registered on a net/http ServeMux must resolve to a handler
+// that records a telemetry sample — a call to an Observe/ObserveDuration
+// method somewhere on its static call path. In this repo that means the
+// handler is wrapped in the serving instrument middleware (or an
+// equivalent that feeds a latency histogram); a bare mux.HandleFunc
+// serves requests no dashboard, soak verdict or alert will ever see.
+//
+// Resolution is static and shallow by design: the handler argument is
+// unwrapped through http.HandlerFunc conversions and followed through
+// same-package function calls, function literals, and function/method
+// references, two levels deep. A handler the analyzer cannot see into
+// (an externally-built http.Handler value) is reported — route it
+// through an instrument wrapper, or document the exception with
+// //scout:allow obs <reason>.
+var Obs = &Analyzer{
+	Name: "obs",
+	Doc:  "ServeMux routes must record a telemetry sample (wrap handlers in an instrument middleware)",
+	Run:  runObs,
+}
+
+func runObs(p *Pass) {
+	decls := packageFuncDecls(p)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Handle" && sel.Sel.Name != "HandleFunc") {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || namedPath(sig.Recv().Type()) != "net/http.ServeMux" {
+				return true
+			}
+			if handlerObserves(p, decls, call.Args[1], 0) {
+				return true
+			}
+			p.Reportf(call.Args[1].Pos(),
+				"route %s registers a handler with no telemetry sample on its call path (no Observe/ObserveDuration); wrap it in the instrument middleware",
+				routeName(call.Args[0]))
+			return true
+		})
+	}
+}
+
+// packageFuncDecls indexes the package's function and method
+// declarations by their type object, so handler references can be
+// followed to their bodies.
+func packageFuncDecls(p *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// maxObsDepth bounds how many same-package call hops the analyzer
+// follows from the registration to an Observe call. Two is enough for
+// every sane middleware shape (instrument -> returned closure) without
+// walking whole call graphs.
+const maxObsDepth = 2
+
+// handlerObserves reports whether the handler expression statically
+// reaches a telemetry observation.
+func handlerObserves(p *Pass, decls map[*types.Func]*ast.FuncDecl, e ast.Expr, depth int) bool {
+	if depth > maxObsDepth {
+		return false
+	}
+	switch v := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return bodyObserves(p, decls, v.Body, depth)
+	case *ast.CallExpr:
+		// http.HandlerFunc(x) and friends are conversions, not calls:
+		// look through to the converted expression.
+		if tv, ok := p.Info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+			return handlerObserves(p, decls, v.Args[0], depth)
+		}
+		if fd := declOf(p, decls, v.Fun); fd != nil {
+			return bodyObserves(p, decls, fd.Body, depth+1)
+		}
+		return false
+	case *ast.Ident, *ast.SelectorExpr:
+		// A function or method reference (mux.HandleFunc("/x", s.handleX)).
+		if fd := declOf(p, decls, e); fd != nil {
+			return bodyObserves(p, decls, fd.Body, depth+1)
+		}
+	}
+	return false
+}
+
+// declOf resolves a function-valued expression to its same-package
+// declaration, or nil.
+func declOf(p *Pass, decls map[*types.Func]*ast.FuncDecl, e ast.Expr) *ast.FuncDecl {
+	var id *ast.Ident
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return nil
+	}
+	if fn, ok := p.Info.Uses[id].(*types.Func); ok {
+		return decls[fn]
+	}
+	return nil
+}
+
+// bodyObserves scans a function body (nested literals included) for a
+// method call named Observe or ObserveDuration, following same-package
+// callees one more hop.
+func bodyObserves(p *Pass, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt, depth int) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Observe" || sel.Sel.Name == "ObserveDuration" {
+				found = true
+				return false
+			}
+		}
+		if depth < maxObsDepth {
+			if fd := declOf(p, decls, call.Fun); fd != nil && bodyObserves(p, decls, fd.Body, depth+1) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// routeName renders the pattern argument for the report ("/v1/predict"
+// for literals, the expression text otherwise).
+func routeName(e ast.Expr) string {
+	if lit, ok := ast.Unparen(e).(*ast.BasicLit); ok {
+		if s, err := strconv.Unquote(lit.Value); err == nil {
+			return strconv.Quote(s)
+		}
+	}
+	return types.ExprString(e)
+}

@@ -1,0 +1,52 @@
+// Package obs exercises the obs analyzer: ServeMux routes whose handler
+// never records a telemetry sample are flagged; handlers wrapped in an
+// instrument middleware, inline-observing closures, and documented
+// exceptions are not.
+package obs
+
+import "net/http"
+
+// hist stands in for a latency histogram; only the Observe*/method-name
+// contract matters to the analyzer.
+type hist struct{}
+
+func (hist) Observe(v float64)          {}
+func (hist) ObserveDuration(ms float64) {}
+
+var latency hist
+
+// instrument is the sanctioned middleware shape: the returned closure
+// records a sample around every request.
+func instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		latency.ObserveDuration(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// record is an indirect observer one hop deeper, for the depth-2 path.
+func record() { latency.Observe(0.001) }
+
+// observed routes through the helper rather than touching the histogram
+// itself.
+func observed(w http.ResponseWriter, r *http.Request) { record() }
+
+// plain serves without ever recording anything.
+func plain(w http.ResponseWriter, r *http.Request) {}
+
+func Routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/wrapped", instrument(http.HandlerFunc(plain)))
+	mux.HandleFunc("/helper", observed)
+	mux.HandleFunc("/inline", func(w http.ResponseWriter, r *http.Request) {
+		latency.ObserveDuration(2)
+	})
+	mux.HandleFunc("/bare", plain)                    // want "no telemetry sample"
+	mux.Handle("/converted", http.HandlerFunc(plain)) // want "no telemetry sample"
+	mux.HandleFunc("/closure", func(w http.ResponseWriter, r *http.Request) { // want "no telemetry sample"
+		w.WriteHeader(http.StatusNoContent)
+	})
+	//scout:allow obs demo route; samples are recorded by an upstream proxy
+	mux.HandleFunc("/excused", plain)
+	return mux
+}

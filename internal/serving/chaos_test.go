@@ -298,20 +298,24 @@ func TestPanicRecovery(t *testing.T) {
 }
 
 // TestRequestDeadline pins the 503 deadline path with a handler slower
-// than the budget.
+// than the budget: JSON body, application/json Content-Type (the
+// http.TimeoutHandler this replaced content-sniffed its body to
+// text/plain), and the deadline propagating into the handler's context.
 func TestRequestDeadline(t *testing.T) {
 	srv := NewServer(nil, nil, NewStore(), nil)
 	srv.RequestTimeout = 20 * time.Millisecond
 	mux := http.NewServeMux()
 	release := make(chan struct{})
 	defer close(release)
+	handlerSawDeadline := make(chan struct{})
 	mux.HandleFunc("/slow", func(_ http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done(): // the deadline propagates into the handler
+			close(handlerSawDeadline)
 		case <-release:
 		}
 	})
-	h := srv.withRecover(http.TimeoutHandler(mux, srv.RequestTimeout, `{"error":"request deadline exceeded"}`))
+	h := srv.withRecover(srv.withDeadline(mux))
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -322,6 +326,48 @@ func TestRequestDeadline(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("overrun answered %d, want 503", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("timeout response Content-Type = %q, want application/json", ct)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("timeout body is not JSON: %v", err)
+	}
+	if eb.Error == "" {
+		t.Fatal("timeout response must carry an error body")
+	}
+	select {
+	case <-handlerSawDeadline:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler context never expired after the 503 was sent")
+	}
+	if got := srv.tel.timeouts.Value(); got != 1 {
+		t.Fatalf("timeout counter = %d, want 1", got)
+	}
+}
+
+// TestDeadlinePanicPropagates pins that a panic inside the deadline
+// goroutine is re-raised on the serving goroutine and still answers a
+// JSON 500 through the recovery middleware.
+func TestDeadlinePanicPropagates(t *testing.T) {
+	srv := NewServer(nil, nil, NewStore(), nil)
+	srv.RequestTimeout = time.Second
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
+	ts := httptest.NewServer(srv.withRecover(srv.withDeadline(mux)))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panic under deadline answered %d, want 500", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
 	}
 }
 

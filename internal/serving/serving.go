@@ -20,6 +20,7 @@ import (
 	"scouts/internal/core"
 	"scouts/internal/incident"
 	"scouts/internal/monitoring"
+	"scouts/internal/telemetry"
 	"scouts/internal/topology"
 )
 
@@ -218,7 +219,7 @@ const (
 //     shed with 429 + Retry-After instead of queueing without bound.
 //   - RequestTimeout > 0 puts a deadline on every request: the handler
 //     runs under a context that expires, and a request that overruns
-//     answers 503 (http.TimeoutHandler semantics).
+//     answers 503 with a JSON body (see withDeadline).
 //   - Degradation is applied to every Scout the server loads: predictions
 //     whose monitoring coverage falls below the floor answer
 //     VerdictFallback rather than guessing from imputed means.
@@ -231,8 +232,22 @@ type Server struct {
 	RequestTimeout time.Duration
 	Degradation    core.DegradationPolicy
 
+	// Access, when set, receives one structured JSON line per request
+	// (request ID, endpoint, status, latency) plus prediction-fallback
+	// events. Nil — the default — logs nothing; see telemetry.Logger.
+	Access *telemetry.Logger
+	// InstanceID prefixes generated request IDs so IDs from different
+	// replicas never collide in aggregated logs. Empty is fine for tests
+	// and single-instance runs.
+	InstanceID string
+	// Clock times requests for the latency histograms. NewServer sets it
+	// to time.Now; tests inject a fake to make recorded durations exact.
+	Clock func() time.Time
+
 	current atomic.Pointer[servingModel]
 	logger  *log.Logger
+	tel     *serverMetrics
+	reqSeq  atomic.Uint64
 	// inflight is the shedding semaphore, sized on first Handler() call.
 	inflight chan struct{}
 	// lastTime remembers the largest trigger time (model hours, as float64
@@ -254,7 +269,13 @@ func NewServer(topo *topology.Topology, source monitoring.DataSource, store *Sto
 	if logger == nil {
 		logger = log.New(logDiscard{}, "", 0)
 	}
-	return &Server{topo: topo, source: source, store: store, logger: logger}
+	s := &Server{
+		topo: topo, source: source, store: store, logger: logger,
+		tel:   newServerMetrics(),
+		Clock: time.Now,
+	}
+	s.registerSourceMetrics()
+	return s
 }
 
 type logDiscard struct{}
@@ -274,7 +295,12 @@ func (s *Server) Reload() error {
 		return fmt.Errorf("serving: restoring v%d: %w", m.Version, err)
 	}
 	scout.SetDegradationPolicy(s.Degradation)
+	// Restore builds a fresh Scout, so the observer — like the degradation
+	// policy — must be re-installed on every load.
+	scout.SetObserver(s)
 	s.current.Store(&servingModel{scout: scout, version: m.Version})
+	s.tel.modelVersion.Set(int64(m.Version))
+	s.tel.reloads.Inc()
 	s.logger.Printf("serving: loaded %s scout v%d", m.Team, m.Version)
 	return nil
 }
@@ -294,22 +320,35 @@ func (s *Server) Scout() *core.Scout {
 //	POST /v1/reload  -> hot-swap to the latest stored model
 //	POST /v1/predict -> PredictRequest -> PredictResponse
 //	POST /v1/predict:batch -> BatchPredictRequest -> BatchPredictResponse
+//	GET  /metrics    -> Prometheus text exposition of every scout_* series
 //
-// The mux is wrapped in the hardening chain, outermost first: panic
-// recovery (a scoring panic answers 500, it does not kill the process),
-// load shedding (MaxInFlight; beyond it 429 + Retry-After), request
-// deadline (RequestTimeout; an overrun answers 503 and the handler's
-// context expires so in-flight scoring stops).
+// Every route is wrapped in instrument (latency histogram, status
+// counters, access log), unrouted paths land on a JSON 404 catch-all,
+// and the whole mux sits under the hardening chain, outermost first:
+// request-ID stamping (every request gets an X-Request-Id, even ones
+// later shed or timed out), panic recovery (a scoring panic answers
+// 500, it does not kill the process), load shedding (MaxInFlight;
+// beyond it 429 + Retry-After), request deadline (RequestTimeout; an
+// overrun answers 503 and the handler's context expires so in-flight
+// scoring stops). Shed and timed-out requests are counted in the
+// global scout_http_requests_shed_total / _timeouts_total rather than
+// per endpoint: they are rejected before (or torn from) the routed
+// handler, so per-endpoint attribution would lie about who did work.
 func (s *Server) Handler() http.Handler {
+	if s.Clock == nil { // zero-value Servers still serve
+		s.Clock = time.Now
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/health", s.handleHealth)
-	mux.HandleFunc("GET /v1/model", s.handleModel)
-	mux.HandleFunc("POST /v1/reload", s.handleReload)
-	mux.HandleFunc("POST /v1/predict", s.handlePredict)
-	mux.HandleFunc("POST /v1/predict:batch", s.handlePredictBatch)
+	mux.Handle("GET /v1/health", s.instrument("/v1/health", http.HandlerFunc(s.handleHealth)))
+	mux.Handle("GET /v1/model", s.instrument("/v1/model", http.HandlerFunc(s.handleModel)))
+	mux.Handle("POST /v1/reload", s.instrument("/v1/reload", http.HandlerFunc(s.handleReload)))
+	mux.Handle("POST /v1/predict", s.instrument("/v1/predict", http.HandlerFunc(s.handlePredict)))
+	mux.Handle("POST /v1/predict:batch", s.instrument("/v1/predict:batch", http.HandlerFunc(s.handlePredictBatch)))
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.tel.reg))
+	mux.Handle("/", s.instrument("other", http.HandlerFunc(s.handleNotFound)))
 	var h http.Handler = mux
 	if s.RequestTimeout > 0 {
-		h = http.TimeoutHandler(h, s.RequestTimeout, `{"error":"request deadline exceeded"}`)
+		h = s.withDeadline(h)
 	}
 	if s.MaxInFlight > 0 {
 		if s.inflight == nil {
@@ -317,7 +356,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		h = s.withShedding(h)
 	}
-	return s.withRecover(h)
+	return s.withRequestID(s.withRecover(h))
 }
 
 // withShedding admits at most MaxInFlight concurrent requests; the rest
@@ -331,6 +370,7 @@ func (s *Server) withShedding(next http.Handler) http.Handler {
 			defer func() { <-s.inflight }()
 			next.ServeHTTP(w, r)
 		default:
+			s.tel.shed.Inc()
 			w.Header().Set("Retry-After", "1")
 			s.writeJSON(w, http.StatusTooManyRequests,
 				errorBody{Error: fmt.Sprintf("server at capacity (%d in flight); retry shortly", s.MaxInFlight)})
@@ -351,6 +391,7 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
+			s.tel.panics.Inc()
 			s.logger.Printf("serving: panic in %s %s: %v", r.Method, r.URL.Path, rec)
 			s.writeJSON(w, http.StatusInternalServerError, errorBody{Error: "internal server error"})
 		}()
@@ -385,9 +426,14 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	buf.Reset()
 	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		// Should be unreachable for our response types; fail the request
-		// rather than emit a truncated body.
+		// rather than emit a truncated body. Written by hand, not via
+		// http.Error: that would label the JSON body text/plain, and the
+		// error-path contract is that EVERY error response is
+		// application/json (see errorpaths_test.go).
 		s.logger.Printf("serving: encoding response: %v", err)
-		http.Error(w, `{"error":"internal encoding failure"}`, http.StatusInternalServerError)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":"internal encoding failure"}` + "\n"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -523,7 +569,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeTime(req.Time)
-	p := m.scout.Predict(req.Title, req.Body, req.Components, req.Time)
+	p := m.scout.PredictCtx(r.Context(), req.Title, req.Body, req.Components, req.Time)
 	s.writeJSON(w, http.StatusOK, m.response(p))
 }
 
@@ -574,7 +620,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		s.observeTime(it.Time)
 	}
 	// Score in chunks and honor the request deadline between chunks: once
-	// the context expires (http.TimeoutHandler has already answered 503),
+	// the context expires (withDeadline has already answered 503),
 	// finishing the batch would burn CPU on an answer nobody receives.
 	const chunk = 32
 	ctx := r.Context()
@@ -583,7 +629,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		hi := min(lo+chunk, len(batch))
-		for k, p := range m.scout.PredictBatch(batch[lo:hi]) {
+		for k, p := range m.scout.PredictBatchCtx(ctx, batch[lo:hi]) {
 			pr := m.response(p)
 			resp.Results[valid[lo+k]].Prediction = &pr
 		}
