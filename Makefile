@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint bench bench-workers bench-smoke loadgen-smoke chaos-smoke soak-smoke soak ci clean
+.PHONY: all build vet test race lint bench bench-pr3 bench-workers bench-smoke loadgen-smoke chaos-smoke soak-smoke pack-smoke soak ci clean
 
 all: ci
 
@@ -24,14 +24,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Kernel benchmarks, paired old-vs-new: the presorted split finder vs the
-# retained seed kernel, aggregate-backed featurization vs window
-# materialization, the O(log n) window aggregates vs a full scan, and the
-# flat SoA inference kernel (batch + single) vs the retained pointer
-# kernel, plus the serving predict paths (single and batch=32). Results
-# from both packages land in BENCH_PR3.json (ns/op, allocs/op, per-result
-# pkg) via cmd/benchjson; compare the paired benchmarks.
+# PR 7 benchmarks, paired old-vs-new: model-load latency through the
+# JSON snapshot path (parse, rebuild pointer trees, re-derive the flat
+# arrays) vs the scoutpack binary path (verify checksum, adopt the
+# arrays), and batch inference throughput through the exact f64 8-lane
+# kernel vs the quantized cache-blocked kernels at 8 and 16 lanes on a
+# production-scale forest. Results land in BENCH_PR7.json (ns/op,
+# allocs/op, per-result pkg) via cmd/benchjson; divide the pairs
+# RestoreJSON/RestorePack and PredictFlatBig/PredictQuant8|16.
 bench:
+	( $(GO) test -bench 'RestoreJSON$$|RestorePack$$|ColdLoadJSON$$|ColdLoadPack$$' -benchtime 50x -run '^$$' . ; \
+	  $(GO) test -bench 'PredictFlatBig$$|PredictQuant8$$|PredictQuant16$$' -benchtime 20x -run '^$$' . ) \
+		| $(GO) run ./cmd/benchjson > BENCH_PR7.json
+	@cat BENCH_PR7.json
+
+# The PR 3 kernel benchmarks (split finder, featurization, window
+# aggregates, flat vs pointer inference, serving predict paths), kept
+# runnable; results land in BENCH_PR3.json as before.
+bench-pr3:
 	( $(GO) test -bench 'BestSplit|Featurize|WindowStats' -benchtime 3x -run '^$$' . ; \
 	  $(GO) test -bench 'PredictFlat$$|PredictPointer$$|PredictFlatSingle$$' -benchtime 200x -run '^$$' . ; \
 	  $(GO) test -bench 'ServingPredict' -benchtime 20x -run '^$$' ./internal/serving ) \
@@ -88,6 +98,24 @@ soak:
 		-seed 7 -days 30 -rate 6 -c 4 -duration 10s -scrape 1s -slo-p99 250 -out BENCH_PR6.json
 	@cat BENCH_PR6.json
 
+# Pack/inspect smoke: boots a tiny scoutd against an empty -store (it
+# trains and publishes a scoutpack), then drives scoutctl's inspect and
+# pack subcommands at the directory — the CLI surface of the DESIGN.md
+# §12 binary model format, exercised end to end. The JSON→pack
+# conversion itself is pinned by TestRepackStore in the race suite.
+pack-smoke:
+	$(GO) build -o /tmp/scouts-pack-scoutd ./cmd/scoutd
+	$(GO) build -o /tmp/scouts-pack-scoutctl ./cmd/scoutctl
+	@set -e; dir=$$(mktemp -d); \
+	/tmp/scouts-pack-scoutd -addr 127.0.0.1:8094 -days 5 -rate 4 -store $$dir & \
+	pid=$$!; trap "kill $$pid 2>/dev/null || true; rm -rf $$dir" EXIT; \
+	for i in $$(seq 1 120); do \
+		curl -fsS http://127.0.0.1:8094/v1/health >/dev/null 2>&1 && break; \
+		sleep 1; \
+	done; \
+	/tmp/scouts-pack-scoutctl inspect $$dir/model-000001.pack; \
+	/tmp/scouts-pack-scoutctl pack $$dir
+
 # Project-specific static analysis (cmd/scoutlint): determinism, map
 # iteration order, reflective sorts, hot-path allocations, lock hygiene
 # and HTTP input hardening. Exits non-zero on any unsuppressed finding;
@@ -95,7 +123,7 @@ soak:
 lint:
 	$(GO) run ./cmd/scoutlint ./...
 
-ci: vet lint build race bench-smoke loadgen-smoke chaos-smoke soak-smoke
+ci: vet lint build race bench-smoke loadgen-smoke chaos-smoke soak-smoke pack-smoke
 
 clean:
 	$(GO) clean ./...

@@ -5,7 +5,18 @@
 //
 //	scoutd [-addr :8080] [-seed 7] [-days 90] [-rate 10] [-workers 0]
 //	       [-max-inflight 64] [-request-timeout 10s] [-min-coverage 0.25]
-//	       [-instance scoutd] [-access-log]
+//	       [-instance scoutd] [-access-log] [-store DIR] [-quantized]
+//
+// -store points at a SaveStore directory. When it already holds model
+// versions, scoutd serves the newest one instead of training at boot —
+// scoutpack (.pack) versions load through the zero-re-derivation binary
+// path — and POST /v1/reload re-reads the directory, so versions
+// published by another process (an offline trainer, `scoutctl pack`)
+// are picked up live. When the directory is empty, scoutd trains once,
+// publishes the model into it as a scoutpack, and serves the scout it
+// just trained directly (no snapshot round trip). -quantized serves
+// batch predictions through the float32 cache-blocked kernel
+// (DESIGN.md §12 has the |Δp| <= 1e-6 tolerance contract).
 //
 // Endpoints:
 //
@@ -54,6 +65,7 @@ import (
 	"scouts/internal/cloudsim"
 	"scouts/internal/core"
 	"scouts/internal/faults"
+	"scouts/internal/ml/forest"
 	"scouts/internal/serving"
 	"scouts/internal/telemetry"
 )
@@ -69,12 +81,15 @@ func main() {
 	minCoverage := flag.Float64("min-coverage", 0.25, "monitoring-coverage floor below which predictions fall back (0 = disabled)")
 	instance := flag.String("instance", "scoutd", "instance ID prefixed to request IDs (X-Request-Id)")
 	accessLog := flag.Bool("access-log", false, "write one structured JSON line per request to stderr")
+	storeDir := flag.String("store", "", "model store directory: serve from it when populated, publish into it after training")
+	quantized := flag.Bool("quantized", false, "serve batch predictions through the quantized (float32, cache-blocked) kernel")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "scoutd: ", log.LstdFlags)
 	opts := servingOptions{
 		maxInflight: *maxInflight, requestTimeout: *reqTimeout, minCoverage: *minCoverage,
 		instance: *instance, accessLog: *accessLog,
+		storeDir: *storeDir, quantized: *quantized,
 	}
 	if err := run(*addr, *seed, *days, *rate, *workers, opts, logger); err != nil {
 		logger.Fatal(err)
@@ -88,6 +103,8 @@ type servingOptions struct {
 	minCoverage    float64
 	instance       string
 	accessLog      bool
+	storeDir       string
+	quantized      bool
 }
 
 func run(addr string, seed int64, days int, rate float64, workers int, opts servingOptions, logger *log.Logger) error {
@@ -101,22 +118,47 @@ func run(addr string, seed int64, days int, rate float64, workers int, opts serv
 		return err
 	}
 
+	// A populated -store directory replaces boot-time training: serve the
+	// newest stored version (scoutpacks load with zero re-derivation).
 	store := serving.NewStore()
-	trainer := &serving.Trainer{Store: store}
-	start := time.Now()
-	scout, version, err := trainer.TrainAndPublish(core.TrainOptions{
-		Config:    cfg,
-		Topology:  gen.Topology(),
-		Source:    gen.Telemetry(),
-		Incidents: trace.Incidents,
-		Seed:      seed,
-		Workers:   workers,
-	})
-	if err != nil {
-		return fmt.Errorf("training: %w", err)
+	if opts.storeDir != "" {
+		if loaded, rep, err := serving.LoadStore(opts.storeDir); err == nil {
+			store = loaded
+			if len(rep.Quarantined) > 0 {
+				logger.Printf("store: quarantined %d damaged model file(s)", len(rep.Quarantined))
+			}
+			logger.Printf("store: %d eager + %d lazy version(s) from %s", len(rep.Loaded), len(rep.Lazy), opts.storeDir)
+		} else if !os.IsNotExist(err) {
+			logger.Printf("store: %v (continuing with boot-time training)", err)
+		}
 	}
-	logger.Printf("trained %s scout v%d in %v (top features: %v)",
-		scout.Team(), version, time.Since(start).Round(time.Millisecond), scout.TopFeatures(3))
+
+	var scout *core.Scout
+	var version int
+	if store.Versions() == 0 {
+		trainer := &serving.Trainer{Store: store, Pack: true}
+		start := time.Now()
+		var err error
+		scout, version, err = trainer.TrainAndPublish(core.TrainOptions{
+			Config:    cfg,
+			Topology:  gen.Topology(),
+			Source:    gen.Telemetry(),
+			Incidents: trace.Incidents,
+			Seed:      seed,
+			Workers:   workers,
+		})
+		if err != nil {
+			return fmt.Errorf("training: %w", err)
+		}
+		logger.Printf("trained %s scout v%d in %v (top features: %v)",
+			scout.Team(), version, time.Since(start).Round(time.Millisecond), scout.TopFeatures(3))
+		if opts.storeDir != "" {
+			if err := serving.SaveStore(store, opts.storeDir); err != nil {
+				return fmt.Errorf("publishing to %s: %w", opts.storeDir, err)
+			}
+			logger.Printf("published scoutpack v%d to %s", version, opts.storeDir)
+		}
+	}
 
 	// Serve through a circuit breaker even though training used the raw
 	// source: request-time featurization must degrade in bounded time when
@@ -128,12 +170,34 @@ func run(addr string, seed int64, days int, rate float64, workers int, opts serv
 	srv.RequestTimeout = opts.requestTimeout
 	srv.Degradation = core.DegradationPolicy{MinCoverage: opts.minCoverage}
 	srv.InstanceID = opts.instance
+	if opts.quantized {
+		srv.Kernel = forest.KernelQuant8
+	}
+	if opts.storeDir != "" {
+		dir := opts.storeDir
+		srv.ReloadStore = func() (*serving.Store, error) {
+			st, rep, err := serving.LoadStore(dir)
+			if err != nil {
+				return nil, err
+			}
+			if len(rep.Quarantined) > 0 {
+				logger.Printf("store: quarantined %d damaged model file(s) on reload", len(rep.Quarantined))
+			}
+			return st, nil
+		}
+	}
 	if opts.accessLog {
 		al := telemetry.NewLogger(os.Stderr, telemetry.F("component", "scoutd"), telemetry.F("instance", opts.instance))
 		al.Now = time.Now
 		srv.Access = al
 	}
-	if err := srv.Reload(); err != nil {
+	if scout != nil {
+		// The scout we just trained already has its flat inference views —
+		// installing it directly skips the snapshot restore (and its flat
+		// re-derivation) a Reload would pay.
+		srv.Install(scout, version)
+		logger.Printf("serving: installed freshly-trained scout v%d", version)
+	} else if err := srv.Reload(); err != nil {
 		return err
 	}
 

@@ -1,5 +1,5 @@
 // Command scoutlint runs the repo's project-customized static-analysis
-// suite (internal/lint) over the module: six analyzers enforcing the
+// suite (internal/lint) over the module: eight analyzers enforcing the
 // determinism, hot-path, reflection-free-sort, lock-safety and
 // serving-hardening invariants the earlier PRs established. Only the
 // standard library is used.

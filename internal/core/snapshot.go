@@ -65,8 +65,14 @@ func (s *Scout) Snapshot() ([]byte, error) {
 }
 
 // Restore rebuilds a Scout from a snapshot against a (possibly different)
-// topology and data source with the same monitoring registry.
+// topology and data source with the same monitoring registry. Both
+// snapshot formats are accepted: the format is sniffed from the leading
+// bytes, so callers stay format-agnostic — a scoutpack (binary) restores
+// through the zero-re-derivation path, anything else through JSON.
 func Restore(data []byte, topo *topology.Topology, source monitoring.DataSource) (*Scout, error) {
+	if IsScoutpack(data) {
+		return restorePack(data, topo, source)
+	}
 	var dto snapshotDTO
 	if err := json.Unmarshal(data, &dto); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)

@@ -92,6 +92,7 @@ func All() []*Analyzer {
 		Locks,
 		HTTPGuard,
 		Obs,
+		BinIO,
 	}
 }
 

@@ -1,0 +1,69 @@
+// Package binio exercises the binio analyzer: fixed-width
+// encoding/binary reads of a []byte parameter with no len() bounds
+// check anywhere in the function are flagged; guarded functions, reads
+// of locally-built slices, and non-parameter sources are not.
+package binio
+
+import "encoding/binary"
+
+// Naked decodes a header with no bounds check anywhere: a torn file
+// panics instead of erroring.
+func Naked(data []byte) (uint32, uint64) {
+	a := binary.LittleEndian.Uint32(data)     // want "binary.Uint32 reads parameter .data. with no len"
+	b := binary.LittleEndian.Uint64(data[4:]) // want "binary.Uint64 reads parameter .data. with no len"
+	return a, b
+}
+
+// BigEndianNaked shows the byte order does not matter.
+func BigEndianNaked(raw []byte) uint16 {
+	return binary.BigEndian.Uint16(raw[2:4]) // want "binary.Uint16 reads parameter .raw. with no len"
+}
+
+// Guarded is the sanctioned shape: check, then decode.
+func Guarded(data []byte) (uint32, bool) {
+	if len(data) < 4 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(data), true
+}
+
+// GuardedArithmetic checks through arithmetic — `n > len(data)-12` still
+// counts as a bounds check on data.
+func GuardedArithmetic(data []byte, n int) uint64 {
+	if n > len(data)-12 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(data[n:])
+}
+
+// GuardedLoop bounds the cursor with a loop condition.
+func GuardedLoop(data []byte) (sum uint32) {
+	for off := 0; off+4 <= len(data); off += 4 {
+		sum += binary.LittleEndian.Uint32(data[off:])
+	}
+	return sum
+}
+
+// LocalSlice decodes a slice the function built itself — out of scope
+// for the parameter rule.
+func LocalSlice(n int) uint32 {
+	buf := make([]byte, n)
+	return binary.LittleEndian.Uint32(buf)
+}
+
+// MixedParams guards one parameter but not the other; only the
+// unguarded one is flagged.
+func MixedParams(head, tail []byte) uint32 {
+	if len(head) < 4 {
+		return 0
+	}
+	_ = binary.LittleEndian.Uint32(head)
+	return binary.LittleEndian.Uint32(tail) // want "binary.Uint32 reads parameter .tail. with no len"
+}
+
+// PutIsWrite shows encode-direction calls are not decodes and never
+// flagged: PutUint32 panics too, but the buffer is typically
+// freshly allocated by the writer, not untrusted input.
+func PutIsWrite(dst []byte, v uint32) {
+	binary.LittleEndian.PutUint32(dst, v)
+}

@@ -27,3 +27,14 @@ func (c *Plus) UnmarshalJSON(b []byte) error {
 	c.rf = dto.RF
 	return nil
 }
+
+// Parts decomposes the model into its parameters and (possibly nil)
+// broad-incident forest. The binary snapshot container serializes the two
+// through their own formats instead of this package's JSON form.
+func (c *Plus) Parts() (PlusParams, *forest.Forest) { return c.params, c.rf }
+
+// PlusFromParts reassembles a model from Parts' output — the binary
+// snapshot loader's counterpart to UnmarshalJSON.
+func PlusFromParts(p PlusParams, rf *forest.Forest) *Plus {
+	return &Plus{params: p, rf: rf}
+}

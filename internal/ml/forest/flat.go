@@ -1,6 +1,9 @@
 package forest
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // flatForest is the inference-time representation of a trained forest: the
 // pointer-addressed per-tree node slices flattened into one contiguous
@@ -39,13 +42,32 @@ type flatForest struct {
 	depth []int32 // per-tree max depth: the fixed step count of the batch kernel
 	prior float64 // mean root probability: the training prior, the
 	// forest's answer when it cannot trust the input vector
+
+	// quant is the quantized mirror of the traversal arrays (see qnode):
+	// float32 thresholds packed with the feature and child indices into one
+	// 12-byte record, plus the tree blocking the cache-blocked kernels walk.
+	// Derived by quantize() after the f64 arrays exist; prob stays float64,
+	// so only the comparison — never the answer's accumulation — is
+	// quantized.
+	quant quantForest
 }
+
+// flatDerivations counts newFlatForest calls. It exists for the
+// exactly-once-per-load guard tests (a JSON load must derive the flat
+// view exactly once per forest; a binary pack load must derive it zero
+// times) and has no other consumers.
+var flatDerivations atomic.Int64
+
+// FlatDerivations reports how many pointer-tree flattenings have run in
+// this process — a test hook for the load-path derivation-count guards.
+func FlatDerivations() int64 { return flatDerivations.Load() }
 
 // newFlatForest flattens the trained pointer trees, re-ordering each
 // tree's nodes breadth-first so sibling pairs are adjacent. Child indices
 // are rebased from per-tree to forest-wide, which costs one add at build
 // time and none at traversal time.
 func newFlatForest(trees []*tree) *flatForest {
+	flatDerivations.Add(1)
 	total := 0
 	for _, t := range trees {
 		total += len(t.nodes)
@@ -95,6 +117,7 @@ func newFlatForest(trees []*tree) *flatForest {
 		}
 		ff.prior = s / float64(len(trees))
 	}
+	ff.quantize()
 	return ff
 }
 

@@ -74,9 +74,67 @@ type Forest struct {
 	imp      []float64 // normalized mean decrease in impurity
 	params   Params
 	// flat is the inference-time flattened SoA view of trees, derived once
-	// at Train/UnmarshalJSON time (see flat.go). trees remain the training
-	// representation and the snapshot format.
+	// at Train/UnmarshalJSON time (see flat.go) — or loaded directly, with
+	// no derivation at all, from a binary pack (pack.go), in which case
+	// trees stays nil and the forest is inference-only.
 	flat *flatForest
+	// kernel selects the batch traversal PredictProbBatch dispatches to.
+	// The zero value is KernelExact (bit-identical to PredictProb); set it
+	// once at load time, before serving — it is not synchronized.
+	kernel BatchKernel
+}
+
+// BatchKernel names a batch-traversal implementation.
+type BatchKernel uint8
+
+const (
+	// KernelExact is the float64 8-lane lock-step kernel: every batch
+	// probability is bit-identical to the corresponding PredictProb call.
+	KernelExact BatchKernel = iota
+	// KernelQuant8 is the quantized 8-lane kernel: float32 thresholds in
+	// packed 12-byte records, trees walked in cache-sized blocks. Answers
+	// are within the quantization tolerance contract (quant.go), not
+	// bit-identical.
+	KernelQuant8
+	// KernelQuant16 is the 16-lane variant of KernelQuant8.
+	KernelQuant16
+)
+
+func (k BatchKernel) String() string {
+	switch k {
+	case KernelQuant8:
+		return "quant8"
+	case KernelQuant16:
+		return "quant16"
+	default:
+		return "exact"
+	}
+}
+
+// SetBatchKernel selects the kernel PredictProbBatch uses. Call it at
+// load time, before the forest serves traffic: the field is read without
+// synchronization on the hot path. Unknown values select KernelExact.
+func (f *Forest) SetBatchKernel(k BatchKernel) {
+	if k > KernelQuant16 {
+		k = KernelExact
+	}
+	f.kernel = k
+}
+
+// CurrentBatchKernel reports the kernel PredictProbBatch dispatches to.
+func (f *Forest) CurrentBatchKernel() BatchKernel { return f.kernel }
+
+// treeCount is the ensemble size for both representations: pointer-tree
+// forests (training, JSON snapshots) count trees; pack-loaded forests
+// carry only the flat view and count its roots.
+func (f *Forest) treeCount() int {
+	if f.trees != nil {
+		return len(f.trees)
+	}
+	if f.flat != nil {
+		return len(f.flat.roots)
+	}
+	return 0
 }
 
 // logf reports the forest's defensive error paths (dimension-mismatched
@@ -187,7 +245,7 @@ func Trainer(p Params) mlcore.Trainer {
 // dimension answers the training prior with a logged error instead of
 // panicking deep in traversal.
 func (f *Forest) PredictProb(x []float64) float64 {
-	if len(f.trees) == 0 {
+	if f.treeCount() == 0 {
 		return 0
 	}
 	if len(x) != len(f.features) {
@@ -215,7 +273,7 @@ func (f *Forest) PredictProbBatch(xs [][]float64, out []float64) []float64 {
 	} else {
 		out = make([]float64, len(xs))
 	}
-	if len(f.trees) == 0 || len(xs) == 0 {
+	if f.treeCount() == 0 || len(xs) == 0 {
 		return out
 	}
 	for _, x := range xs {
@@ -226,7 +284,14 @@ func (f *Forest) PredictProbBatch(xs [][]float64, out []float64) []float64 {
 			return out
 		}
 	}
-	f.flat.predictBatch(xs, out)
+	switch f.kernel {
+	case KernelQuant8:
+		f.flat.predictBatchQ8(xs, out)
+	case KernelQuant16:
+		f.flat.predictBatchQ16(xs, out)
+	default:
+		f.flat.predictBatch(xs, out)
+	}
 	return out
 }
 
@@ -288,7 +353,7 @@ type Contribution struct {
 // absolute value. A dimension-mismatched vector answers the training prior
 // with no contributions (and a logged error) instead of panicking.
 func (f *Forest) Explain(x []float64) (prior float64, contribs []Contribution) {
-	if len(f.trees) == 0 {
+	if f.treeCount() == 0 {
 		return 0, nil
 	}
 	if len(x) != len(f.features) {
@@ -320,10 +385,11 @@ func (f *Forest) ExplainPointer(x []float64) (prior float64, contribs []Contribu
 // sorts them by decreasing absolute value — shared by both kernels so
 // their outputs can only differ if the traversals themselves do.
 func (f *Forest) finishExplain(prior float64, raw []float64) (float64, []Contribution) {
-	prior /= float64(len(f.trees))
+	count := float64(f.treeCount())
+	prior /= count
 	contribs := make([]Contribution, 0, len(raw))
 	for i, v := range raw {
-		v /= float64(len(f.trees))
+		v /= count
 		if v != 0 {
 			contribs = append(contribs, Contribution{Feature: f.features[i], Value: v})
 		}
@@ -343,9 +409,18 @@ func (f *Forest) finishExplain(prior float64, raw []float64) (float64, []Contrib
 }
 
 // NumTrees reports the ensemble size.
-func (f *Forest) NumTrees() int { return len(f.trees) }
+func (f *Forest) NumTrees() int { return f.treeCount() }
+
+// NumNodes reports the total node count across the ensemble (0 before
+// training); scoutctl inspect surfaces it when dumping pack files.
+func (f *Forest) NumNodes() int {
+	if f.flat == nil {
+		return 0
+	}
+	return len(f.flat.feature)
+}
 
 // String summarizes the forest for logs.
 func (f *Forest) String() string {
-	return fmt.Sprintf("RandomForest(trees=%d, dim=%d)", len(f.trees), len(f.features))
+	return fmt.Sprintf("RandomForest(trees=%d, dim=%d)", f.treeCount(), len(f.features))
 }

@@ -3,6 +3,7 @@ package forest_test
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"testing"
 
 	"scouts/internal/experiments"
@@ -49,6 +50,43 @@ func TestGoldenEquivalenceOnLabData(t *testing.T) {
 			t.Fatalf("workers=%d: presorted kernel snapshot (%d bytes) differs from seed kernel (%d bytes)",
 				workers, len(a), len(b))
 		}
+	}
+}
+
+// TestGoldenQuantToleranceOnLabData is the quantized kernels' golden
+// gate on real lab data (the in-package form runs on synthetic xor
+// probes): over the full lab test matrix, both blocked float32 kernels
+// stay within the documented |Δp| <= 1e-6 of the exact f64 kernel.
+// Thresholds round up to the nearest float32, so a vector can only land
+// in a different leaf when a feature value falls inside the one-ulp gap
+// — and the probe log reports how close the sweep actually came.
+func TestGoldenQuantToleranceOnLabData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lab generation is slow")
+	}
+	lab, err := experiments.NewLab(experiments.LabParams{Days: 40, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := forest.Train(lab.TrainSet(), forest.Params{NumTrees: 30, MaxDepth: 14, Seed: 20200810, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := f.PredictProbBatch(lab.TestX, nil)
+	defer f.SetBatchKernel(forest.KernelExact)
+	for _, k := range []forest.BatchKernel{forest.KernelQuant8, forest.KernelQuant16} {
+		f.SetBatchKernel(k)
+		quant := f.PredictProbBatch(lab.TestX, nil)
+		var worst float64
+		for i := range exact {
+			if d := math.Abs(exact[i] - quant[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-6 {
+			t.Fatalf("kernel %v: max |Δp| = %g over lab matrix, tolerance is 1e-6", k, worst)
+		}
+		t.Logf("kernel %v: max |Δp| = %g over %d lab vectors", k, worst, len(exact))
 	}
 }
 

@@ -24,8 +24,13 @@ type forestDTO struct {
 }
 
 // MarshalJSON serializes the forest (model persistence for the serving
-// pipeline, §6).
+// pipeline, §6). Pack-loaded forests carry only the flat inference view —
+// the pointer trees the JSON format is made of are gone — so they refuse
+// to serialize rather than emit an empty ensemble.
 func (f *Forest) MarshalJSON() ([]byte, error) {
+	if f.trees == nil && f.flat != nil {
+		return nil, errors.New("forest: pack-loaded forest has no pointer trees; JSON snapshot unavailable")
+	}
 	dto := forestDTO{Features: f.features, Imp: f.imp, Params: f.params}
 	for _, t := range f.trees {
 		nodes := make([]nodeDTO, len(t.nodes))

@@ -1,0 +1,308 @@
+package forest
+
+import "math"
+
+// This file is the quantized, cache-blocked batch inference path. The
+// exact kernel (flat.go) reads three parallel arrays per traversal step —
+// an int32 feature, a float64 threshold and an int32 child index — which
+// is three cache lines of traffic for 16 useful bytes. The quantized view
+// narrows the threshold to float32 and packs all three into one 12-byte
+// record (qnode), so a step touches a single line, and partitions the
+// trees into contiguous blocks small enough to stay cache-resident while
+// the whole batch streams through them.
+//
+// Tolerance contract (DESIGN.md §12): thresholds are rounded UP to the
+// nearest float32 — the smallest t32 with float64(t32) >= t — so every
+// sample the f64 kernel sends left (x <= t) still goes left. Only inputs
+// landing in the half-open gap (t, t32] can flip, and the gap is one
+// float32 ulp wide (relative ~1e-7); on real-valued telemetry features
+// the measure of that set is effectively zero, and the goldens pin
+// max |Δp| <= 1e-6 against the f64 kernel on the lab matrix. Leaf
+// probabilities stay float64, so when no split flips, the only remaining
+// difference is block-boundary summation order (~1e-16). NaN inputs are
+// prescreened to the exact single-vector kernel, exactly as the f64
+// batch kernel does.
+
+// qnode is one quantized traversal record: everything a step reads, in
+// 12 bytes. Leaves keep the self-loop encoding (kids == own index,
+// threshold +Inf) so the lock-step kernels need no per-lane done check.
+type qnode struct {
+	feature   int32
+	threshold float32
+	kids      int32
+}
+
+// qblock is a contiguous tree range [lo, hi) whose nodes fit the cache
+// budget; the blocked kernels run every batch group through one block
+// before touching the next, so a block's lines are loaded once per batch
+// instead of once per lane group.
+type qblock struct {
+	lo, hi int // tree index range
+}
+
+// quantForest is the quantized mirror of a flatForest's traversal arrays.
+type quantForest struct {
+	nodes  []qnode
+	blocks []qblock
+}
+
+// qBlockNodes bounds the nodes per tree block. 16k qnodes is ~192 KiB —
+// comfortably inside a shared L2 alongside the leaf probabilities the
+// block's traversals finish on — while big enough that tiny forests stay
+// a single block and pay no blocking overhead at all.
+const qBlockNodes = 16 << 10
+
+// quantizeThreshold rounds t up to the nearest float32: the smallest t32
+// with float64(t32) >= t, so x <= t still implies x <= t32 and no sample
+// the exact kernel sends left can flip right. +Inf (leaves) maps to +Inf;
+// a finite threshold beyond float32 range saturates to +Inf, which keeps
+// the left-preserving guarantee (everything goes left).
+func quantizeThreshold(t float64) float32 {
+	q := float32(t)
+	if float64(q) < t {
+		q = math.Nextafter32(q, float32(math.Inf(1)))
+	}
+	return q
+}
+
+// quantize derives the qnode mirror and the tree blocking from the f64
+// arrays. It is a linear re-encode of data already in its final form —
+// no tree walk, no renumbering — so both the Train path and the binary
+// pack loader run it without violating the zero-re-derivation contract.
+func (ff *flatForest) quantize() {
+	ff.quant.nodes = make([]qnode, len(ff.feature))
+	for i := range ff.quant.nodes {
+		ff.quant.nodes[i] = qnode{
+			feature:   ff.feature[i],
+			threshold: quantizeThreshold(ff.threshold[i]),
+			kids:      ff.kids[i],
+		}
+	}
+	ff.quant.blocks = ff.quant.blocks[:0]
+	lo := 0
+	nodes := 0
+	for t := range ff.roots {
+		end := len(ff.feature)
+		if t+1 < len(ff.roots) {
+			end = int(ff.roots[t+1])
+		}
+		size := end - int(ff.roots[t])
+		if nodes > 0 && nodes+size > qBlockNodes {
+			ff.quant.blocks = append(ff.quant.blocks, qblock{lo: lo, hi: t})
+			lo, nodes = t, 0
+		}
+		nodes += size
+	}
+	ff.quant.blocks = append(ff.quant.blocks, qblock{lo: lo, hi: len(ff.roots)})
+}
+
+// predictTreeQ walks one tree through the quantized records to its leaf
+// probability — the single-vector form of the blocked kernels, used for
+// their tail lanes so a batch is quantized uniformly.
+func (ff *flatForest) predictTreeQ(root int32, x []float64) float64 {
+	qn := ff.quant.nodes
+	n := root
+	for {
+		q := qn[n]
+		if q.kids == n {
+			return ff.prob[n]
+		}
+		k := q.kids
+		if x[q.feature] > float64(q.threshold) {
+			k++
+		}
+		n = k
+	}
+}
+
+// predictBatchQ8 is the 8-lane quantized, tree-blocked batch kernel:
+// same lock-step structure as the exact kernel, one 12-byte record per
+// step instead of three array loads, and trees visited block by block so
+// each block's lines are fetched once per batch. Accumulation stays
+// float64 and tree-ordered within a vector (blocks are contiguous tree
+// ranges), so the only summation-order difference from the exact kernel
+// is at block boundaries.
+//
+//scout:hotpath
+func (ff *flatForest) predictBatchQ8(xs [][]float64, out []float64) {
+	qn, prob, roots, depth := ff.quant.nodes, ff.prob, ff.roots, ff.depth
+	for _, blk := range ff.quant.blocks {
+		i := 0
+		for ; i+8 <= len(xs); i += 8 {
+			x0, x1, x2, x3 := xs[i], xs[i+1], xs[i+2], xs[i+3]
+			x4, x5, x6, x7 := xs[i+4], xs[i+5], xs[i+6], xs[i+7]
+			if hasNaN(x0) || hasNaN(x1) || hasNaN(x2) || hasNaN(x3) ||
+				hasNaN(x4) || hasNaN(x5) || hasNaN(x6) || hasNaN(x7) {
+				// NaN routing is the exact kernel's contract; score these
+				// lanes unquantized for this block's trees.
+				for j := i; j < i+8; j++ {
+					for t := blk.lo; t < blk.hi; t++ {
+						out[j] += ff.predictTree(roots[t], xs[j])
+					}
+				}
+				continue
+			}
+			var s0, s1, s2, s3, s4, s5, s6, s7 float64
+			for t := blk.lo; t < blk.hi; t++ {
+				r := roots[t]
+				n0, n1, n2, n3 := r, r, r, r
+				n4, n5, n6, n7 := r, r, r, r
+				for d := depth[t]; d > 0; d-- {
+					q0, q1, q2, q3 := qn[n0], qn[n1], qn[n2], qn[n3]
+					q4, q5, q6, q7 := qn[n4], qn[n5], qn[n6], qn[n7]
+					var b0, b1, b2, b3, b4, b5, b6, b7 int32
+					if x0[q0.feature] > float64(q0.threshold) {
+						b0 = 1
+					}
+					if x1[q1.feature] > float64(q1.threshold) {
+						b1 = 1
+					}
+					if x2[q2.feature] > float64(q2.threshold) {
+						b2 = 1
+					}
+					if x3[q3.feature] > float64(q3.threshold) {
+						b3 = 1
+					}
+					if x4[q4.feature] > float64(q4.threshold) {
+						b4 = 1
+					}
+					if x5[q5.feature] > float64(q5.threshold) {
+						b5 = 1
+					}
+					if x6[q6.feature] > float64(q6.threshold) {
+						b6 = 1
+					}
+					if x7[q7.feature] > float64(q7.threshold) {
+						b7 = 1
+					}
+					m0 := q0.kids + b0
+					m1 := q1.kids + b1
+					m2 := q2.kids + b2
+					m3 := q3.kids + b3
+					m4 := q4.kids + b4
+					m5 := q5.kids + b5
+					m6 := q6.kids + b6
+					m7 := q7.kids + b7
+					// Children renumber strictly after their parent, so an
+					// unmoved lane is a leaf self-loop; once all eight lanes
+					// park, the remaining depth is pure no-op steps the
+					// exact kernel still walks. Skip them.
+					if (m0-n0)|(m1-n1)|(m2-n2)|(m3-n3)|
+						(m4-n4)|(m5-n5)|(m6-n6)|(m7-n7) == 0 {
+						break
+					}
+					n0, n1, n2, n3 = m0, m1, m2, m3
+					n4, n5, n6, n7 = m4, m5, m6, m7
+				}
+				s0 += prob[n0]
+				s1 += prob[n1]
+				s2 += prob[n2]
+				s3 += prob[n3]
+				s4 += prob[n4]
+				s5 += prob[n5]
+				s6 += prob[n6]
+				s7 += prob[n7]
+			}
+			out[i] += s0
+			out[i+1] += s1
+			out[i+2] += s2
+			out[i+3] += s3
+			out[i+4] += s4
+			out[i+5] += s5
+			out[i+6] += s6
+			out[i+7] += s7
+		}
+		for ; i < len(xs); i++ {
+			if hasNaN(xs[i]) {
+				for t := blk.lo; t < blk.hi; t++ {
+					out[i] += ff.predictTree(roots[t], xs[i])
+				}
+				continue
+			}
+			for t := blk.lo; t < blk.hi; t++ {
+				out[i] += ff.predictTreeQ(roots[t], xs[i])
+			}
+		}
+	}
+	count := float64(len(roots))
+	for j := range out {
+		out[j] /= count
+	}
+}
+
+// predictBatchQ16 is the 16-lane variant of predictBatchQ8: twice the
+// independent pointer chases in flight per tree pass, for cores whose
+// out-of-order window is not yet saturated at 8. Which width wins is
+// machine-dependent — BENCH_PR7.json carries both series and the serving
+// default follows the winner.
+//
+//scout:hotpath
+func (ff *flatForest) predictBatchQ16(xs [][]float64, out []float64) {
+	qn, prob, roots, depth := ff.quant.nodes, ff.prob, ff.roots, ff.depth
+	var n [16]int32
+	var q [16]qnode
+	for _, blk := range ff.quant.blocks {
+		i := 0
+	groups:
+		for ; i+16 <= len(xs); i += 16 {
+			for j := i; j < i+16; j++ {
+				if hasNaN(xs[j]) {
+					for k := i; k < i+16; k++ {
+						for t := blk.lo; t < blk.hi; t++ {
+							out[k] += ff.predictTree(roots[t], xs[k])
+						}
+					}
+					continue groups
+				}
+			}
+			var s [16]float64
+			for t := blk.lo; t < blk.hi; t++ {
+				r := roots[t]
+				for l := range n {
+					n[l] = r
+				}
+				for d := depth[t]; d > 0; d-- {
+					for l := 0; l < 16; l++ {
+						q[l] = qn[n[l]]
+					}
+					var moved int32
+					for l := 0; l < 16; l++ {
+						var b int32
+						if xs[i+l][q[l].feature] > float64(q[l].threshold) {
+							b = 1
+						}
+						m := q[l].kids + b
+						moved |= m - n[l]
+						n[l] = m
+					}
+					// All sixteen lanes parked on leaf self-loops: the rest
+					// of the depth loop cannot change anything.
+					if moved == 0 {
+						break
+					}
+				}
+				for l := 0; l < 16; l++ {
+					s[l] += prob[n[l]]
+				}
+			}
+			for l := 0; l < 16; l++ {
+				out[i+l] += s[l]
+			}
+		}
+		for ; i < len(xs); i++ {
+			if hasNaN(xs[i]) {
+				for t := blk.lo; t < blk.hi; t++ {
+					out[i] += ff.predictTree(roots[t], xs[i])
+				}
+				continue
+			}
+			for t := blk.lo; t < blk.hi; t++ {
+				out[i] += ff.predictTreeQ(roots[t], xs[i])
+			}
+		}
+	}
+	count := float64(len(roots))
+	for j := range out {
+		out[j] /= count
+	}
+}

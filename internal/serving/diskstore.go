@@ -2,6 +2,7 @@ package serving
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -10,15 +11,48 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+
+	"scouts/internal/core"
 )
 
-// diskEnvelope is the on-disk form of one model version: the serialized
-// Model plus a checksum over exactly those bytes, so a torn write or
-// bit-rot is detected at load time instead of surfacing later as a
-// corrupt snapshot mid-reload.
+// The disk store persists versioned models in two on-disk formats,
+// sniffed by extension and magic on load:
+//
+//   - model-%06d.json — the JSON envelope: {"checksum","model"} with a
+//     sha256 over the serialized Model. The training-side interchange
+//     format; any snapshot kind can live here.
+//   - model-%06d.pack — the binary envelope for scoutpack snapshots:
+//     magic "SDP1" | u32 metaLen | meta JSON (version/team/trained_at +
+//     payload checksum) | raw scoutpack bytes. Loading it never parses
+//     the multi-megabyte snapshot through encoding/json, which is the
+//     point: the snapshot bytes land in memory as-is and core.Restore's
+//     zero-re-derivation path takes over.
+//
+// When both extensions exist for one version, the pack wins (a repack
+// run — `scoutctl pack` — leaves the JSON file as a fallback for older
+// readers). Damaged files of either format are quarantined, not fatal.
+
+// diskEnvelope is the JSON on-disk form of one model version: the
+// serialized Model plus a checksum over exactly those bytes, so a torn
+// write or bit-rot is detected at load time instead of surfacing later
+// as a corrupt snapshot mid-reload.
 type diskEnvelope struct {
 	Checksum string          `json:"checksum"` // "sha256:" + hex of Model
 	Model    json.RawMessage `json:"model"`
+}
+
+// packEnvelopeMagic heads a .pack store file (the disk envelope, not the
+// scoutpack payload itself, which carries its own "SCPK" magic+checksum).
+const packEnvelopeMagic = "SDP1"
+
+// packMeta is the JSON header of a .pack store file: the Model's
+// metadata fields, kept outside the binary payload so `ls` + `head` on a
+// store directory stays explicable without a scoutpack parser.
+type packMeta struct {
+	Version   int    `json:"version"`
+	Team      string `json:"team"`
+	TrainedAt string `json:"trained_at"` // RFC3339Nano, as time.Time JSON
+	Checksum  string `json:"checksum"`   // "sha256:" + hex of payload
 }
 
 func checksumOf(payload []byte) string {
@@ -27,7 +61,8 @@ func checksumOf(payload []byte) string {
 }
 
 // SaveStore persists every model version of a store to a directory, one
-// JSON file per version (model-000001.json, ...). The directory is
+// file per version. Scoutpack snapshots are written as model-%06d.pack
+// (binary envelope), everything else as model-%06d.json. The directory is
 // created if needed. Each file is written crash-safely: the bytes go to a
 // temp file in the same directory, the temp file is fsynced before the
 // atomic rename, and the directory itself is fsynced after, so a crash at
@@ -41,6 +76,22 @@ func SaveStore(st *Store, dir string) error {
 	models := append([]Model(nil), st.models...)
 	st.mu.Unlock()
 	for _, m := range models {
+		if m.Snapshot == nil {
+			// A lazily-loaded model that was never materialized is already
+			// on disk in the directory it was loaded from; writing it
+			// requires its bytes, so materialize through the store.
+			got, ok := st.Get(m.Version)
+			if !ok {
+				return fmt.Errorf("serving: v%d is lazy and its file is unreadable", m.Version)
+			}
+			m = got
+		}
+		if core.IsScoutpack(m.Snapshot) {
+			if err := writePackFile(dir, m); err != nil {
+				return err
+			}
+			continue
+		}
 		payload, err := json.Marshal(m)
 		if err != nil {
 			return fmt.Errorf("serving: encoding v%d: %w", m.Version, err)
@@ -49,13 +100,16 @@ func SaveStore(st *Store, dir string) error {
 		if err != nil {
 			return fmt.Errorf("serving: enveloping v%d: %w", m.Version, err)
 		}
-		final := filepath.Join(dir, fmt.Sprintf("model-%06d.json", m.Version))
-		if err := writeFileSync(final, data); err != nil {
+		if err := writeFileSync(filepath.Join(dir, fmt.Sprintf("model-%06d.json", m.Version)), data); err != nil {
 			return err
 		}
 	}
 	return syncDir(dir)
 }
+
+// timeLayout serializes TrainedAt in the pack envelope exactly as
+// encoding/json serializes time.Time, so the two formats agree.
+const timeLayout = "2006-01-02T15:04:05.999999999Z07:00"
 
 // writeFileSync writes data to path through a same-directory temp file,
 // fsyncing the file before the rename commits it.
@@ -98,16 +152,18 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// LoadReport says what LoadStore found: which versions loaded and which
+// LoadReport says what LoadStore found: which versions loaded eagerly,
+// which were registered lazily (verified only on first Get), and which
 // files were quarantined (set aside with reasons) instead of failing the
 // whole load — one rotten version must not take down a store holding
 // good ones.
 type LoadReport struct {
 	Loaded      []int             `json:"loaded"`
+	Lazy        []int             `json:"lazy,omitempty"`
 	Quarantined []QuarantinedFile `json:"quarantined,omitempty"`
 }
 
-// QuarantinedFile is one model file LoadStore refused to load. The file
+// QuarantinedFile is one model file the store refused to load. The file
 // is renamed to <name>.quarantined so the next save or load does not trip
 // over it again; Renamed is false if the rename itself failed.
 type QuarantinedFile struct {
@@ -116,68 +172,269 @@ type QuarantinedFile struct {
 	Renamed bool   `json:"renamed"`
 }
 
-// LoadStore reads a directory written by SaveStore back into a Store.
-// Files that fail to read, decode, or checksum are quarantined — renamed
-// to *.quarantined and listed in the report — and the remaining versions
+// LoadOptions tune LoadStoreOptions.
+type LoadOptions struct {
+	// EagerVersions is how many of the newest versions are read and
+	// verified at load time. Older versions are registered lazily: their
+	// files are opened, verified and decoded only on the first Get. Zero
+	// means the default (2: the serving version plus one rollback step);
+	// negative means every version loads eagerly.
+	EagerVersions int
+}
+
+// DefaultEagerVersions is the LoadOptions.EagerVersions default: the
+// latest version (what Reload serves) plus one rollback candidate. A
+// store directory holding months of history costs two file reads at
+// boot, not a full-directory parse.
+const DefaultEagerVersions = 2
+
+// LoadStore reads a directory written by SaveStore back into a Store
+// with the default options. See LoadStoreOptions.
+func LoadStore(dir string) (*Store, *LoadReport, error) {
+	return LoadStoreOptions(dir, LoadOptions{})
+}
+
+// LoadStoreOptions reads a directory written by SaveStore back into a
+// Store. Both file formats load; when a version exists as both .json and
+// .pack, the pack is used. The newest EagerVersions versions are read and
+// verified now; older files are registered by path and verified on first
+// Get, which quarantines them exactly as an eager load would. Files that
+// fail to read, decode, or checksum are quarantined — renamed to
+// *.quarantined and listed in the report — and the remaining versions
 // load; gaps in the version sequence are tolerated for the same reason.
 // The error is non-nil only when the directory itself cannot be read.
-func LoadStore(dir string) (*Store, *LoadReport, error) {
+func LoadStoreOptions(dir string, opt LoadOptions) (*Store, *LoadReport, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("serving: reading %s: %w", dir, err)
+	}
+	eager := opt.EagerVersions
+	if eager == 0 {
+		eager = DefaultEagerVersions
 	}
 	type vf struct {
 		v    int
 		name string
 	}
-	var files []vf
+	// Collect candidates per version; .pack shadows .json.
+	best := map[int]string{}
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, "model-") || !strings.HasSuffix(name, ".json") {
+		var num string
+		switch {
+		case strings.HasPrefix(name, "model-") && strings.HasSuffix(name, ".pack"):
+			num = strings.TrimSuffix(strings.TrimPrefix(name, "model-"), ".pack")
+		case strings.HasPrefix(name, "model-") && strings.HasSuffix(name, ".json"):
+			num = strings.TrimSuffix(strings.TrimPrefix(name, "model-"), ".json")
+		default:
 			continue
 		}
-		num := strings.TrimSuffix(strings.TrimPrefix(name, "model-"), ".json")
 		v, err := strconv.Atoi(num)
 		if err != nil {
 			continue
 		}
+		if prev, ok := best[v]; !ok || (strings.HasSuffix(prev, ".json") && strings.HasSuffix(name, ".pack")) {
+			best[v] = name
+		}
+	}
+	var files []vf
+	for v, name := range best {
 		files = append(files, vf{v, name})
 	}
 	slices.SortFunc(files, func(a, b vf) int { return a.v - b.v })
 
 	st := NewStore()
 	rep := &LoadReport{}
-	quarantine := func(name, reason string) {
-		q := QuarantinedFile{Name: name, Reason: reason}
-		q.Renamed = os.Rename(filepath.Join(dir, name), filepath.Join(dir, name+".quarantined")) == nil
-		rep.Quarantined = append(rep.Quarantined, q)
-	}
-	for _, f := range files {
-		data, err := os.ReadFile(filepath.Join(dir, f.name))
-		if err != nil {
-			quarantine(f.name, "read: "+err.Error())
+	for i, f := range files {
+		path := filepath.Join(dir, f.name)
+		if eager >= 0 && len(files)-i > eager {
+			// Old version: register by path, defer the read to first Get.
+			st.models = append(st.models, Model{Version: f.v, path: path})
+			rep.Lazy = append(rep.Lazy, f.v)
 			continue
 		}
-		var env diskEnvelope
-		if err := json.Unmarshal(data, &env); err != nil || len(env.Model) == 0 {
-			quarantine(f.name, "malformed envelope")
-			continue
-		}
-		if got := checksumOf(env.Model); got != env.Checksum {
-			quarantine(f.name, fmt.Sprintf("checksum mismatch: file says %s, content is %s", env.Checksum, got))
-			continue
-		}
-		var m Model
-		if err := json.Unmarshal(env.Model, &m); err != nil {
-			quarantine(f.name, "decoding model: "+err.Error())
-			continue
-		}
-		if m.Version != f.v {
-			quarantine(f.name, fmt.Sprintf("file claims v%d but contains v%d", f.v, m.Version))
+		m, reason := loadModelFile(path, f.v)
+		if reason != "" {
+			rep.Quarantined = append(rep.Quarantined, quarantineFile(path, reason))
 			continue
 		}
 		st.models = append(st.models, m)
 		rep.Loaded = append(rep.Loaded, m.Version)
 	}
 	return st, rep, nil
+}
+
+// quarantineFile renames a damaged model file to <name>.quarantined and
+// returns the report entry.
+func quarantineFile(path, reason string) QuarantinedFile {
+	q := QuarantinedFile{Name: filepath.Base(path), Reason: reason}
+	q.Renamed = os.Rename(path, path+".quarantined") == nil
+	return q
+}
+
+// RepackStore converts every JSON-snapshot version in a store directory
+// to the scoutpack format, writing model-%06d.pack next to each
+// model-%06d.json (which is left in place as a fallback for older
+// readers — LoadStore prefers the pack). Versions already packed are
+// skipped. It returns the versions converted. Damaged files are left
+// alone for LoadStore's quarantine to handle.
+func RepackStore(dir string) ([]int, error) {
+	st, _, err := LoadStoreOptions(dir, LoadOptions{EagerVersions: -1})
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	models := append([]Model(nil), st.models...)
+	st.mu.Unlock()
+	var converted []int
+	for _, m := range models {
+		if core.IsScoutpack(m.Snapshot) {
+			continue
+		}
+		// The stored Model wraps a JSON Scout snapshot; convert the inner
+		// snapshot, keep the version/team/time metadata.
+		packed, err := core.PackSnapshot(m.Snapshot)
+		if err != nil {
+			return converted, fmt.Errorf("serving: packing v%d: %w", m.Version, err)
+		}
+		m.Snapshot = packed
+		if err := writePackFile(dir, m); err != nil {
+			return converted, err
+		}
+		converted = append(converted, m.Version)
+	}
+	if len(converted) > 0 {
+		if err := syncDir(dir); err != nil {
+			return converted, err
+		}
+	}
+	return converted, nil
+}
+
+// writePackFile writes one scoutpack model as model-%06d.pack, crash-safe.
+func writePackFile(dir string, m Model) error {
+	meta, err := json.Marshal(packMeta{
+		Version:   m.Version,
+		Team:      m.Team,
+		TrainedAt: m.TrainedAt.Format(timeLayout),
+		Checksum:  checksumOf(m.Snapshot),
+	})
+	if err != nil {
+		return fmt.Errorf("serving: enveloping v%d: %w", m.Version, err)
+	}
+	data := append([]byte(nil), packEnvelopeMagic...)
+	data = binary.LittleEndian.AppendUint32(data, uint32(len(meta)))
+	data = append(data, meta...)
+	data = append(data, m.Snapshot...)
+	return writeFileSync(filepath.Join(dir, fmt.Sprintf("model-%06d.pack", m.Version)), data)
+}
+
+// ReadModelFile reads and fully verifies one model file of either disk
+// format, without going through a Store — `scoutctl inspect` uses it on
+// files directly.
+func ReadModelFile(path string) (Model, error) {
+	base := filepath.Base(path)
+	num := strings.TrimSuffix(strings.TrimSuffix(strings.TrimPrefix(base, "model-"), ".pack"), ".json")
+	want, err := strconv.Atoi(num)
+	if err != nil {
+		// Not a store-named file: trust the embedded version.
+		want = -1
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Model{}, fmt.Errorf("serving: %w", err)
+	}
+	var m Model
+	var reason string
+	if strings.HasSuffix(path, ".pack") {
+		if want < 0 {
+			if len(data) >= 8 && string(data[:4]) == packEnvelopeMagic {
+				var meta packMeta
+				if n := int(binary.LittleEndian.Uint32(data[4:])); n >= 0 && n <= len(data)-8 {
+					if json.Unmarshal(data[8:8+n], &meta) == nil {
+						want = meta.Version
+					}
+				}
+			}
+		}
+		m, reason = decodePackFile(data, want)
+	} else {
+		if want < 0 {
+			var env diskEnvelope
+			var inner Model
+			if json.Unmarshal(data, &env) == nil && json.Unmarshal(env.Model, &inner) == nil {
+				want = inner.Version
+			}
+		}
+		m, reason = decodeJSONFile(data, want)
+	}
+	if reason != "" {
+		return Model{}, fmt.Errorf("serving: %s: %s", base, reason)
+	}
+	return m, nil
+}
+
+// loadModelFile reads and fully verifies one model file of either
+// format. It returns the model, or a non-empty quarantine reason.
+func loadModelFile(path string, wantVersion int) (Model, string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Model{}, "read: " + err.Error()
+	}
+	if strings.HasSuffix(path, ".pack") {
+		return decodePackFile(data, wantVersion)
+	}
+	return decodeJSONFile(data, wantVersion)
+}
+
+func decodeJSONFile(data []byte, wantVersion int) (Model, string) {
+	var env diskEnvelope
+	if err := json.Unmarshal(data, &env); err != nil || len(env.Model) == 0 {
+		return Model{}, "malformed envelope"
+	}
+	if got := checksumOf(env.Model); got != env.Checksum {
+		return Model{}, fmt.Sprintf("checksum mismatch: file says %s, content is %s", env.Checksum, got)
+	}
+	var m Model
+	if err := json.Unmarshal(env.Model, &m); err != nil {
+		return Model{}, "decoding model: " + err.Error()
+	}
+	if m.Version != wantVersion {
+		return Model{}, fmt.Sprintf("file claims v%d but contains v%d", wantVersion, m.Version)
+	}
+	return m, ""
+}
+
+func decodePackFile(data []byte, wantVersion int) (Model, string) {
+	if len(data) < 8 || string(data[:4]) != packEnvelopeMagic {
+		return Model{}, "malformed pack envelope"
+	}
+	metaLen := int(binary.LittleEndian.Uint32(data[4:]))
+	if metaLen < 0 || metaLen > len(data)-8 {
+		return Model{}, "pack envelope meta length overruns file"
+	}
+	var meta packMeta
+	if err := json.Unmarshal(data[8:8+metaLen], &meta); err != nil {
+		return Model{}, "decoding pack meta: " + err.Error()
+	}
+	payload := data[8+metaLen:]
+	if got := checksumOf(payload); got != meta.Checksum {
+		return Model{}, fmt.Sprintf("checksum mismatch: file says %s, content is %s", meta.Checksum, got)
+	}
+	if meta.Version != wantVersion {
+		return Model{}, fmt.Sprintf("file claims v%d but contains v%d", wantVersion, meta.Version)
+	}
+	// The payload must be a structurally-sound scoutpack: its own
+	// envelope (magic, version, inner sha256) is verified here so a
+	// damaged snapshot quarantines at load, not at Restore.
+	if err := core.VerifyScoutpack(payload); err != nil {
+		return Model{}, "scoutpack payload: " + err.Error()
+	}
+	m := Model{Version: meta.Version, Team: meta.Team, Snapshot: payload}
+	if meta.TrainedAt != "" {
+		if err := m.TrainedAt.UnmarshalText([]byte(meta.TrainedAt)); err != nil {
+			return Model{}, "decoding pack meta time: " + err.Error()
+		}
+	}
+	return m, ""
 }

@@ -5,6 +5,8 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"scouts/internal/core"
 	"scouts/internal/monitoring"
@@ -60,6 +62,13 @@ type serverMetrics struct {
 
 	reloads      *telemetry.Counter
 	modelVersion *telemetry.Gauge
+	// loadSeconds holds the float64 bits of the last model load's
+	// duration; exported through a GaugeFunc because the gauge type is
+	// integral and load latency needs sub-second resolution.
+	loadSeconds atomic.Uint64
+	modelBytes  *telemetry.Gauge
+	// modelFormat is 0 while a JSON snapshot is served, 1 for a scoutpack.
+	modelFormat *telemetry.Gauge
 
 	predByModel map[string]*telemetry.Counter
 	predOther   *telemetry.Counter
@@ -84,6 +93,10 @@ func newServerMetrics() *serverMetrics {
 			"Successful model loads (startup load included)."),
 		modelVersion: reg.Gauge("scout_model_version",
 			"Version of the currently served model (0 before the first load)."),
+		modelBytes: reg.Gauge("scout_model_bytes",
+			"Size in bytes of the snapshot behind the served model."),
+		modelFormat: reg.Gauge("scout_model_snapshot_format",
+			"Format of the served snapshot: 0 JSON, 1 scoutpack (binary)."),
 		predByModel: map[string]*telemetry.Counter{},
 		fallbacks: reg.Counter("scout_prediction_fallbacks_total",
 			"Predictions answered VerdictFallback (legacy routing takes over)."),
@@ -112,7 +125,23 @@ func newServerMetrics() *serverMetrics {
 		m.predByModel[model] = reg.Counter("scout_predictions_total", predHelp, telemetry.L("model", model))
 	}
 	m.predOther = reg.Counter("scout_predictions_total", predHelp, telemetry.L("model", "other"))
+	reg.GaugeFunc("scout_model_load_duration_seconds",
+		"Wall time of the last model load: store read + snapshot restore (0 before the first load).",
+		func() float64 { return math.Float64frombits(m.loadSeconds.Load()) })
 	return m
+}
+
+// setLoadStats records one model load's observability triple: how long
+// the restore took (by the server's injected clock, so tests see exact
+// values), how many bytes the snapshot was, and which format it was in.
+func (m *serverMetrics) setLoadStats(d time.Duration, bytes int, packed bool) {
+	m.loadSeconds.Store(math.Float64bits(d.Seconds()))
+	m.modelBytes.Set(int64(bytes))
+	format := int64(0)
+	if packed {
+		format = 1
+	}
+	m.modelFormat.Set(format)
 }
 
 func (m *serverMetrics) endpoint(name string) *endpointMetrics {

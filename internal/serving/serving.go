@@ -19,6 +19,7 @@ import (
 
 	"scouts/internal/core"
 	"scouts/internal/incident"
+	"scouts/internal/ml/forest"
 	"scouts/internal/monitoring"
 	"scouts/internal/telemetry"
 	"scouts/internal/topology"
@@ -30,6 +31,11 @@ type Model struct {
 	Team      string    `json:"team"`
 	TrainedAt time.Time `json:"trained_at"`
 	Snapshot  []byte    `json:"snapshot"`
+
+	// path is set on store entries registered lazily by LoadStoreOptions:
+	// the on-disk file backing this version, read and verified on first
+	// access. Empty for models published in-process or loaded eagerly.
+	path string
 }
 
 // Store keeps versioned model snapshots (the "highly available storage
@@ -37,6 +43,9 @@ type Model struct {
 type Store struct {
 	mu     sync.Mutex
 	models []Model
+	// lazyQuarantined records files that failed verification when a lazy
+	// entry was first materialized; see QuarantinedLazy.
+	lazyQuarantined []QuarantinedFile
 
 	// Now stamps TrainedAt on published models. It defaults to time.Now;
 	// tests inject a fixed clock so snapshot metadata — and therefore
@@ -72,27 +81,68 @@ func (st *Store) Put(team string, snapshot []byte) int {
 
 // Latest returns the newest model (ok == false when empty). The returned
 // Snapshot is the caller's to keep: it never aliases store-internal bytes.
+// A lazily-registered newest version is materialized first; if its file
+// turns out to be damaged it is quarantined and the next-newest healthy
+// version answers instead.
 func (st *Store) Latest() (Model, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if len(st.models) == 0 {
-		return Model{}, false
+	for len(st.models) > 0 {
+		i := len(st.models) - 1
+		if st.materializeLocked(i) {
+			return copyModel(st.models[i]), true
+		}
 	}
-	return copyModel(st.models[len(st.models)-1]), true
+	return Model{}, false
 }
 
 // Get returns a specific version. Like Latest, the Snapshot is a copy.
 // Lookup is by the model's Version field, not position: stores reloaded
-// around quarantined files may hold non-contiguous versions.
+// around quarantined files may hold non-contiguous versions. Lazy entries
+// are read and verified here, on first access; a damaged file is
+// quarantined exactly as an eager load would have, and Get answers false.
 func (st *Store) Get(version int) (Model, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for i := range st.models {
 		if st.models[i].Version == version {
+			if !st.materializeLocked(i) {
+				return Model{}, false
+			}
 			return copyModel(st.models[i]), true
 		}
 	}
 	return Model{}, false
+}
+
+// materializeLocked ensures models[i] holds its snapshot bytes, reading
+// and verifying the backing file for lazy entries. On verification
+// failure the file is quarantined, the entry is dropped from the store,
+// and false is returned. Callers hold st.mu.
+func (st *Store) materializeLocked(i int) bool {
+	m := &st.models[i]
+	if m.Snapshot != nil || m.path == "" {
+		return m.Snapshot != nil
+	}
+	loaded, reason := loadModelFile(m.path, m.Version)
+	if reason != "" {
+		st.lazyQuarantined = append(st.lazyQuarantined, quarantineFile(m.path, reason))
+		st.models = append(st.models[:i], st.models[i+1:]...)
+		return false
+	}
+	loaded.path = m.path
+	*m = loaded
+	return true
+}
+
+// QuarantinedLazy drains the quarantine events produced by lazy loads
+// since the last call — the deferred complement of LoadReport.Quarantined.
+func (st *Store) QuarantinedLazy() []QuarantinedFile {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := st.lazyQuarantined
+	st.lazyQuarantined = nil
+	return out
 }
 
 func copyModel(m Model) Model {
@@ -111,6 +161,11 @@ func (st *Store) Versions() int {
 // snapshots to a store.
 type Trainer struct {
 	Store *Store
+	// Pack publishes scoutpack (binary) snapshots instead of JSON ones.
+	// The store and server are format-agnostic — Restore sniffs the
+	// leading bytes — but packed snapshots load without re-deriving the
+	// forests' flat views, which is what a serving fleet wants.
+	Pack bool
 }
 
 // TrainAndPublish trains a Scout and stores its snapshot, returning the
@@ -120,7 +175,12 @@ func (tr *Trainer) TrainAndPublish(opt core.TrainOptions) (*core.Scout, int, err
 	if err != nil {
 		return nil, 0, err
 	}
-	snap, err := scout.Snapshot()
+	var snap []byte
+	if tr.Pack {
+		snap, err = scout.SnapshotPack()
+	} else {
+		snap, err = scout.Snapshot()
+	}
 	if err != nil {
 		return nil, 0, err
 	}
@@ -232,6 +292,20 @@ type Server struct {
 	RequestTimeout time.Duration
 	Degradation    core.DegradationPolicy
 
+	// Kernel selects the batch-inference kernel installed on every Scout
+	// the server loads. The zero value is the exact (bit-reproducible)
+	// kernel; scoutd's -quantized flag selects the quantized one
+	// (DESIGN.md §12 has the tolerance contract).
+	Kernel forest.BatchKernel
+
+	// ReloadStore, when set, is consulted at the start of every Reload:
+	// it re-reads the backing storage (scoutd points it at its -store
+	// directory) and returns a fresh Store, so POST /v1/reload picks up
+	// versions published by another process — e.g. a `scoutctl pack` run
+	// or an offline trainer writing into the same directory. Errors fail
+	// the reload; the previously-served model stays.
+	ReloadStore func() (*Store, error)
+
 	// Access, when set, receives one structured JSON line per request
 	// (request ID, endpoint, status, latency) plus prediction-fallback
 	// events. Nil — the default — logs nothing; see telemetry.Logger.
@@ -245,9 +319,12 @@ type Server struct {
 	Clock func() time.Time
 
 	current atomic.Pointer[servingModel]
-	logger  *log.Logger
-	tel     *serverMetrics
-	reqSeq  atomic.Uint64
+	// reloadMu serializes Reload calls: concurrent /v1/reload requests
+	// must not interleave a ReloadStore swap with a Latest read.
+	reloadMu sync.Mutex
+	logger   *log.Logger
+	tel      *serverMetrics
+	reqSeq   atomic.Uint64
 	// inflight is the shedding semaphore, sized on first Handler() call.
 	inflight chan struct{}
 	// lastTime remembers the largest trigger time (model hours, as float64
@@ -282,27 +359,61 @@ type logDiscard struct{}
 
 func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
 
-// Reload loads the newest snapshot from the store. The server's
-// degradation policy is installed on every Scout it loads (Restore builds
-// a fresh Scout, so the policy must be re-applied per load).
+// Reload loads the newest snapshot from the store (after refreshing the
+// store itself through ReloadStore, when set). The restore is timed with
+// the server's clock and exported as scout_model_load_duration_seconds,
+// alongside the snapshot's size and format — the observable difference
+// between a JSON restore and a scoutpack's zero-re-derivation load.
 func (s *Server) Reload() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if s.ReloadStore != nil {
+		st, err := s.ReloadStore()
+		if err != nil {
+			return fmt.Errorf("serving: refreshing store: %w", err)
+		}
+		s.store = st
+	}
 	m, ok := s.store.Latest()
 	if !ok {
 		return fmt.Errorf("serving: store is empty")
 	}
+	clock := s.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	start := clock()
 	scout, err := core.Restore(m.Snapshot, s.topo, s.source)
 	if err != nil {
 		return fmt.Errorf("serving: restoring v%d: %w", m.Version, err)
 	}
-	scout.SetDegradationPolicy(s.Degradation)
-	// Restore builds a fresh Scout, so the observer — like the degradation
-	// policy — must be re-installed on every load.
-	scout.SetObserver(s)
-	s.current.Store(&servingModel{scout: scout, version: m.Version})
-	s.tel.modelVersion.Set(int64(m.Version))
-	s.tel.reloads.Inc()
+	s.tel.setLoadStats(clock().Sub(start), len(m.Snapshot), core.IsScoutpack(m.Snapshot))
+	s.install(scout, m.Version)
 	s.logger.Printf("serving: loaded %s scout v%d", m.Team, m.Version)
 	return nil
+}
+
+// Install serves an already-restored Scout. The training path uses it to
+// publish the scout it just trained without a snapshot round trip — the
+// forest's flat inference view is derived once, at Train, and never again
+// (pack_test pins the derivation count). Version is bookkeeping only; it
+// should match what the store would report for this model.
+func (s *Server) Install(scout *core.Scout, version int) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	s.install(scout, version)
+}
+
+// install applies the server-owned policies and swaps the model in.
+// Restore/Train build fresh Scouts, so the degradation policy, observer
+// and kernel choice must be re-applied on every load.
+func (s *Server) install(scout *core.Scout, version int) {
+	scout.SetDegradationPolicy(s.Degradation)
+	scout.SetObserver(s)
+	scout.SetBatchKernel(s.Kernel)
+	s.current.Store(&servingModel{scout: scout, version: version})
+	s.tel.modelVersion.Set(int64(version))
+	s.tel.reloads.Inc()
 }
 
 // Scout returns the currently-served Scout (nil before Reload).
