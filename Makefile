@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint bench bench-pr3 bench-workers bench-smoke loadgen-smoke chaos-smoke soak-smoke pack-smoke soak ci clean
+.PHONY: all build vet test race lint lint-baseline lint-selfcheck bench bench-pr3 bench-workers bench-smoke loadgen-smoke chaos-smoke soak-smoke pack-smoke soak ci clean
 
 all: ci
 
@@ -117,13 +117,26 @@ pack-smoke:
 	/tmp/scouts-pack-scoutctl pack $$dir
 
 # Project-specific static analysis (cmd/scoutlint): determinism, map
-# iteration order, reflective sorts, hot-path allocations, lock hygiene
-# and HTTP input hardening. Exits non-zero on any unsuppressed finding;
-# `-json` emits machine-readable findings for tooling.
+# iteration order, reflective sorts, hot-path allocations, lock hygiene,
+# HTTP input hardening, plus the flow-sensitive suite (ctxflow, leak,
+# atomicity, fsyncrename). Emits lint.sarif as a CI artifact and diffs
+# findings against the committed lint.baseline.json: grandfathered
+# findings are tracked, any NEW finding exits 1 and fails `make ci`.
 lint:
-	$(GO) run ./cmd/scoutlint ./...
+	$(GO) run ./cmd/scoutlint -sarif lint.sarif -baseline lint.baseline.json ./...
 
-ci: vet lint build race bench-smoke loadgen-smoke chaos-smoke soak-smoke pack-smoke
+# Regenerate the baseline (after fixing or deliberately grandfathering
+# findings). Review the diff before committing: every entry is a defect
+# the ratchet stops tracking as new.
+lint-baseline:
+	$(GO) run ./cmd/scoutlint -write-baseline lint.baseline.json ./...
+
+# The linter linting itself: the CFG builder, dataflow engine and
+# analyzers must come out clean under their own rules.
+lint-selfcheck:
+	$(GO) run ./cmd/scoutlint internal/lint
+
+ci: vet lint lint-selfcheck build race bench-smoke loadgen-smoke chaos-smoke soak-smoke pack-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// Atomicity flags mixed access protocols: a variable or struct field
+// that is updated through the old-style sync/atomic package functions
+// (atomic.AddInt64(&x, ...), atomic.LoadUint32(&x), ...) on one path
+// and read or written with a plain load/store on another. The plain
+// access races with the atomic one — the exact hazard a lock-free
+// counter or gauge lives on — and the mix usually means one call site
+// was added after the protocol was forgotten.
+//
+// The check is package-wide and two-pass: pass one collects every
+// object whose address is taken by a sync/atomic package function; pass
+// two reports every other use of those objects. Composite-literal
+// initialization (Counter{hits: 0}) is exempt: it builds a new value
+// that is not yet shared. Typed atomics (atomic.Int64 and friends) are
+// immune by construction — their value is unexported — and copies of
+// them are already rejected by go vet's copylocks.
+var Atomicity = &Analyzer{
+	Name: "atomicity",
+	Doc:  "a variable updated via sync/atomic must never be read or written with a plain access",
+	Run:  runAtomicity,
+}
+
+func runAtomicity(p *Pass) {
+	// Pass one: objects addressed by old-style sync/atomic calls, with
+	// the first such site for the report, and the identifiers inside
+	// those calls (which are legitimate uses).
+	atomicAt := map[types.Object]token.Pos{}
+	okIdents := map[*ast.Ident]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // typed atomics police themselves
+			}
+			for _, a := range call.Args {
+				u, ok := ast.Unparen(a).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				obj := exprObject(p.Info, u.X)
+				if obj == nil {
+					continue
+				}
+				if _, recorded := atomicAt[obj]; !recorded {
+					atomicAt[obj] = call.Pos()
+				}
+				ast.Inspect(a, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						okIdents[id] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass two: every other use is a plain access.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					okIdents[id] = true // composite literal init of a fresh value
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || okIdents[id] {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				return true
+			}
+			pos, ok := atomicAt[obj]
+			if !ok {
+				return true
+			}
+			at := p.Fset.Position(pos)
+			p.Reportf(id.Pos(), "plain access of %s, which is accessed via sync/atomic at %s:%d; use atomic loads/stores everywhere (or migrate to a typed atomic.Int64-style field)",
+				id.Name, filepath.Base(at.Filename), at.Line)
+			return true
+		})
+	}
+}

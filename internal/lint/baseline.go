@@ -1,0 +1,111 @@
+package lint
+
+// Findings baseline: the ratchet that lets new analyzers land with
+// grandfathered findings tracked instead of fixed-or-suppressed in the
+// same change. A baseline entry keys a finding by (file, check, message)
+// and deliberately drops line/column, so unrelated edits that shift code
+// around do not churn the file or un-grandfather anything; a finding
+// whose message embeds its own position (atomicity does this) still
+// re-keys when the underlying code moves, which is the desired ratchet
+// pressure. `make ci` diffs the current run against the committed
+// lint.baseline.json and fails on any finding not present there.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"slices"
+	"strings"
+)
+
+// BaselineEntry is one grandfathered finding.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func (e BaselineEntry) compare(o BaselineEntry) int {
+	if c := strings.Compare(e.File, o.File); c != 0 {
+		return c
+	}
+	if c := strings.Compare(e.Check, o.Check); c != 0 {
+		return c
+	}
+	return strings.Compare(e.Message, o.Message)
+}
+
+// Baseline is the committed document: a version marker plus the sorted,
+// deduplicated entry list.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// NewBaseline builds a baseline from a finding set: entries sorted and
+// deduplicated, file paths normalized to slashes by the caller (the CLI
+// relativizes against the lint root first).
+func NewBaseline(diags []Diagnostic) *Baseline {
+	entries := make([]BaselineEntry, 0, len(diags))
+	for _, d := range diags {
+		entries = append(entries, BaselineEntry{File: d.File, Check: d.Check, Message: d.Message})
+	}
+	slices.SortFunc(entries, BaselineEntry.compare)
+	entries = slices.CompactFunc(entries, func(a, b BaselineEntry) bool { return a == b })
+	return &Baseline{Version: 1, Findings: entries}
+}
+
+// Marshal renders the baseline deterministically (sorted entries, fixed
+// key order, trailing newline) so the file is committable and diffable.
+func (b *Baseline) Marshal() ([]byte, error) {
+	cp := *b
+	if cp.Findings == nil {
+		cp.Findings = []BaselineEntry{}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(&cp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadBaseline reads a baseline file written by Marshal.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Filter splits the findings into new (not in the baseline) and
+// grandfathered. Matching is set-based on (file, check, message): once a
+// key is grandfathered, any number of same-keyed findings stay silent —
+// the alternative (multiset counts) would re-fail CI when a grandfathered
+// pattern is copy-pasted, which the per-line suppression directive
+// already polices better.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh, grandfathered []Diagnostic) {
+	known := make(map[BaselineEntry]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		known[e] = true
+	}
+	for _, d := range diags {
+		if known[BaselineEntry{File: d.File, Check: d.Check, Message: d.Message}] {
+			grandfathered = append(grandfathered, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh, grandfathered
+}

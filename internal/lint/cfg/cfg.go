@@ -1,0 +1,536 @@
+// Package cfg builds per-function control-flow graphs over go/ast for
+// the flow-sensitive scoutlint analyzers. The graph is deliberately
+// small: basic blocks hold the function's statements and the control
+// expressions that gate them, in source order, and edges model every way
+// control can move between them — if/else, for and range loops (with
+// break/continue, labeled or not), switch and type switch (with
+// fallthrough), select, goto, return, and calls that provably never
+// return (panic, os.Exit, runtime.Goexit, log.Fatal*).
+//
+// Only the standard library is used; this is NOT x/tools/go/cfg, though
+// the shape is intentionally similar so analyses written against it read
+// familiarly. Function literals nested inside a body are not descended
+// into — each literal gets its own graph, built by the caller — because
+// a literal's body runs at some other time (or never), not as part of
+// the enclosing function's control flow.
+//
+// Deferred calls are collected into Graph.Defers rather than threaded as
+// edges: a defer runs at every function exit, so analyses that care
+// (fsyncrename's directory-sync obligation, for example) consult the
+// defer list when they reach Exit instead of modeling the stack.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block: a maximal run of nodes with no internal
+// control transfer. Nodes holds statements and gating expressions (an
+// if's Cond, a switch's Tag) in execution order. Succs are the blocks
+// control may reach next; a block with no successors either returns,
+// panics, or ends an infinite loop's unreachable tail.
+type Block struct {
+	// Index is the block's position in Graph.Blocks; stable and
+	// deterministic for a given function, so analyses can use it for
+	// ordered worklists.
+	Index int
+	// Nodes are the block's statements and control expressions in order.
+	Nodes []ast.Node
+	// Succs are the possible successors in the order their syntax
+	// appears (then before else, case order, loop body before exit).
+	Succs []*Block
+	// kind labels the block for String(); purely cosmetic.
+	kind string
+}
+
+// Graph is one function body's control-flow graph.
+type Graph struct {
+	// Entry is where control enters; it is always Blocks[0].
+	Entry *Block
+	// Exit is the single synthetic exit block every return and
+	// fall-off-the-end path reaches. It holds no nodes.
+	Exit *Block
+	// Blocks lists every block, Entry first, Exit last, the rest in
+	// construction (source) order.
+	Blocks []*Block
+	// Defers are the deferred calls seen anywhere in the body, in source
+	// order. They run — in reverse order — at every path to Exit.
+	Defers []*ast.CallExpr
+}
+
+// builder carries the construction state.
+type builder struct {
+	g *Graph
+	// cur is the block new nodes land in; nil while control is
+	// unreachable (after a return/goto/panic) until a label or join
+	// starts a new block.
+	cur *Block
+	// breakTo / continueTo map loop & switch/select statements to their
+	// break and continue targets; labels maps label names to their
+	// blocks for goto, and labeled loops for labeled break/continue.
+	breakTo    map[ast.Stmt]*Block
+	continueTo map[ast.Stmt]*Block
+	labels     map[string]*Block
+	// labelStmt maps a label name to the statement it labels, so
+	// labeled break/continue can find the loop's break/continue target.
+	labelStmt map[string]ast.Stmt
+	// gotos are forward gotos resolved after the walk.
+	gotos []pendingGoto
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// New builds the graph of one function body. A nil body (a declaration
+// without a definition) yields a graph whose entry connects straight to
+// exit.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{
+		g:          g,
+		breakTo:    map[ast.Stmt]*Block{},
+		continueTo: map[ast.Stmt]*Block{},
+		labels:     map[string]*Block{},
+		labelStmt:  map[string]ast.Stmt{},
+	}
+	g.Entry = b.newBlock("entry")
+	g.Exit = &Block{kind: "exit"} // indexed last, after the walk
+	b.cur = g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jumpTo(g.Exit) // falling off the end returns
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			pg.from.Succs = append(pg.from.Succs, target)
+		}
+		// An unresolved goto label is a type error the driver already
+		// rejected; nothing to do here.
+	}
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// add appends a node to the current block; a nil current block means the
+// node is unreachable, and it is parked in a fresh successor-less block
+// so analyses still see (and can choose to ignore) it.
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+		// No edges in: the block stays unreachable from Entry, which is
+		// exactly what reachability-aware analyses test for.
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jumpTo ends the current block with an edge to target.
+func (b *builder) jumpTo(target *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, target)
+	}
+	b.cur = nil
+}
+
+// startBlock begins a new current block and returns it.
+func (b *builder) startBlock(kind string) *Block {
+	blk := b.newBlock(kind)
+	b.cur = blk
+	return blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// stmt translates one statement into blocks and edges.
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		join := b.newBlock("if.join")
+		// Then branch.
+		thenBlk := b.startBlock("if.then")
+		condBlk.Succs = append(condBlk.Succs, thenBlk)
+		b.stmtList(s.Body.List)
+		b.jumpTo(join)
+		// Else branch (or straight to join).
+		if s.Else != nil {
+			elseBlk := b.startBlock("if.else")
+			condBlk.Succs = append(condBlk.Succs, elseBlk)
+			b.stmt(s.Else)
+			b.jumpTo(join)
+		} else {
+			condBlk.Succs = append(condBlk.Succs, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		b.jumpTo(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		exit := b.newBlock("for.exit")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		b.breakTo[s] = exit
+		b.continueTo[s] = post
+		body := b.startBlock("for.body")
+		head.Succs = append(head.Succs, body)
+		if s.Cond != nil {
+			head.Succs = append(head.Succs, exit) // cond false
+		}
+		b.stmtList(s.Body.List)
+		b.jumpTo(post)
+		if s.Post != nil {
+			b.cur = post
+			b.add(s.Post)
+			b.jumpTo(head)
+		}
+		delete(b.breakTo, s)
+		delete(b.continueTo, s)
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		b.jumpTo(head)
+		b.cur = head
+		b.add(s) // the range clause itself: X evaluation + per-iteration assign
+		exit := b.newBlock("range.exit")
+		b.breakTo[s] = exit
+		b.continueTo[s] = head
+		body := b.startBlock("range.body")
+		head.Succs = append(head.Succs, body, exit)
+		b.stmtList(s.Body.List)
+		b.jumpTo(head)
+		delete(b.breakTo, s)
+		delete(b.continueTo, s)
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s, s.Init, s.Tag, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s, s.Init, nil, s.Body)
+		// The assign clause (x := y.(type)) is part of every case's
+		// context; it was added by switchStmt via the extra node hook.
+
+	case *ast.SelectStmt:
+		join := b.newBlock("select.join")
+		b.breakTo[s] = join
+		selBlk := b.cur
+		if selBlk == nil {
+			selBlk = b.startBlock("select")
+		}
+		b.add(s) // the select itself gates all branches
+		selBlk = b.cur
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			branch := b.startBlock("select.case")
+			selBlk.Succs = append(selBlk.Succs, branch)
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jumpTo(join)
+		}
+		if len(s.Body.List) == 0 {
+			// select {} blocks forever: no edge to join.
+			b.cur = nil
+		}
+		delete(b.breakTo, s)
+		b.cur = join
+
+	case *ast.LabeledStmt:
+		target := b.newBlock("label." + s.Label.Name)
+		b.labels[s.Label.Name] = target
+		b.labelStmt[s.Label.Name] = s.Stmt
+		b.jumpTo(target)
+		b.cur = target
+		b.stmt(s.Stmt)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jumpTo(b.g.Exit)
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s.Call)
+		b.add(s)
+
+	case *ast.GoStmt:
+		// The goroutine's body is a separate graph; the go statement
+		// itself is a plain node here.
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if callNeverReturns(s.X) {
+			b.cur = nil // no successors, not even Exit
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, IncDec, Send, Decl, ... — straight-line statements.
+		b.add(s)
+	}
+}
+
+// switchStmt builds expression and type switches: each case is a branch
+// off the tag block, fallthrough chains a case into the next one's body,
+// and a missing default adds a tag→join edge.
+func (b *builder) switchStmt(s ast.Stmt, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if ts, ok := s.(*ast.TypeSwitchStmt); ok {
+		b.add(ts.Assign)
+	}
+	tagBlk := b.cur
+	if tagBlk == nil {
+		tagBlk = b.startBlock("switch")
+	}
+	join := b.newBlock("switch.join")
+	b.breakTo[s] = join
+	hasDefault := false
+	var caseBlocks []*Block
+	var clauses []*ast.CaseClause
+	for _, clause := range body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock("switch.case")
+		tagBlk.Succs = append(tagBlk.Succs, blk)
+		caseBlocks = append(caseBlocks, blk)
+		clauses = append(clauses, cc)
+	}
+	for i, cc := range clauses {
+		b.cur = caseBlocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(caseBlocks) {
+			b.jumpTo(caseBlocks[i+1])
+		} else {
+			b.jumpTo(join)
+		}
+	}
+	if !hasDefault {
+		tagBlk.Succs = append(tagBlk.Succs, join)
+	}
+	delete(b.breakTo, s)
+	b.cur = join
+}
+
+// branchStmt handles break/continue/goto/fallthrough. Fallthrough is
+// handled inside switchStmt; one reaching here is outside a case body
+// (a parse error) and is ignored.
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		target := b.nearestBreak(s.Label)
+		if target != nil {
+			b.jumpTo(target)
+		} else {
+			b.cur = nil
+		}
+	case token.CONTINUE:
+		target := b.nearestContinue(s.Label)
+		if target != nil {
+			b.jumpTo(target)
+		} else {
+			b.cur = nil
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			if target, ok := b.labels[s.Label.Name]; ok {
+				b.jumpTo(target)
+			} else {
+				// Forward goto: resolve after the walk.
+				from := b.cur
+				if from == nil {
+					from = b.startBlock("goto")
+				}
+				b.gotos = append(b.gotos, pendingGoto{from: from, label: s.Label.Name})
+				b.cur = nil
+			}
+		}
+	}
+}
+
+// nearestBreak finds the break target: the innermost enclosing loop,
+// switch or select (maps hold only currently-open statements), or the
+// labeled statement's target.
+func (b *builder) nearestBreak(label *ast.Ident) *Block {
+	if label != nil {
+		if st, ok := b.labelStmt[label.Name]; ok {
+			return b.breakTo[st]
+		}
+		return nil
+	}
+	return lastOpen(b.breakTo)
+}
+
+func (b *builder) nearestContinue(label *ast.Ident) *Block {
+	if label != nil {
+		if st, ok := b.labelStmt[label.Name]; ok {
+			return b.continueTo[st]
+		}
+		return nil
+	}
+	return lastOpen(b.continueTo)
+}
+
+// lastOpen picks the innermost open statement's target. Map iteration
+// order is fine here only because we pick by maximal statement position:
+// the innermost open construct starts last in the source.
+func lastOpen(m map[ast.Stmt]*Block) *Block {
+	var best ast.Stmt
+	for st := range m {
+		if best == nil || st.Pos() > best.Pos() {
+			best = st
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return m[best]
+}
+
+// callNeverReturns recognizes the syntactic forms of calls that
+// terminate the goroutine or process: panic(...), os.Exit, log.Fatal*,
+// runtime.Goexit. Purely syntactic (no type info is available here);
+// a shadowed `panic` would be misread, and nobody shadows panic.
+func callNeverReturns(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fn.Sel.Name {
+		case "os.Exit", "runtime.Goexit":
+			return true
+		}
+		return pkg.Name == "log" && strings.HasPrefix(fn.Sel.Name, "Fatal")
+	}
+	return false
+}
+
+// NodeInspect walks one block node the way ast.Inspect does, except it
+// does not descend into regions whose statements live in other blocks or
+// run at another time: a RangeStmt's body, a SelectStmt's clauses, and
+// every function literal's body. Analyzers iterating Block.Nodes must
+// use this instead of ast.Inspect, or they would attribute a nested
+// block's statements to the wrong block (and a goroutine's statements to
+// its creator).
+func NodeInspect(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			f(x) // visible, not entered
+			return false
+		case *ast.RangeStmt:
+			if !f(x) {
+				return false
+			}
+			// Walk the clause (key, value, X) but not the body.
+			if x.Key != nil {
+				NodeInspect(x.Key, f)
+			}
+			if x.Value != nil {
+				NodeInspect(x.Value, f)
+			}
+			NodeInspect(x.X, f)
+			return false
+		case *ast.SelectStmt:
+			f(x) // visible; clauses live in their branch blocks
+			return false
+		case nil:
+			return true
+		}
+		return f(x)
+	})
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (g *Graph) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		stack = append(stack, blk.Succs...)
+	}
+	return seen
+}
+
+// String renders the graph for tests and debugging: one line per block,
+// "i(kind) -> succs: nodes".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "%d(%s) ->", blk.Index, blk.kind)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " %d", s.Index)
+		}
+		if len(blk.Nodes) > 0 {
+			fmt.Fprintf(&sb, " [%d nodes]", len(blk.Nodes))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,387 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"scouts/internal/lint/cfg"
+)
+
+// buildFunc parses src as a file, finds the function named fn and builds
+// its graph.
+func buildFunc(t *testing.T, src, fn string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return cfg.New(fd.Body)
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil
+}
+
+// markBlock returns the reachable block containing the call mark<n>(),
+// or nil. Marks let tests pin statements without position bookkeeping.
+func markBlock(g *cfg.Graph, name string) *cfg.Block {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			cfg.NodeInspect(n, func(x ast.Node) bool {
+				if id, ok := x.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// canReach reports whether to is reachable from from along Succs.
+func canReach(from, to *cfg.Block) bool {
+	seen := map[*cfg.Block]bool{}
+	stack := []*cfg.Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+const header = "package p\nfunc mark1(){}\nfunc mark2(){}\nfunc mark3(){}\nfunc mark4(){}\n"
+
+func TestIfJoin(t *testing.T) {
+	g := buildFunc(t, header+`
+func f(c bool) {
+	if c {
+		mark1()
+	} else {
+		mark2()
+	}
+	mark3()
+}`, "f")
+	m1, m2, m3 := markBlock(g, "mark1"), markBlock(g, "mark2"), markBlock(g, "mark3")
+	if m1 == nil || m2 == nil || m3 == nil {
+		t.Fatalf("marks not all placed:\n%s", g)
+	}
+	if m1 == m2 {
+		t.Fatalf("then and else share a block:\n%s", g)
+	}
+	if !canReach(m1, m3) || !canReach(m2, m3) {
+		t.Fatalf("branches do not rejoin:\n%s", g)
+	}
+	if canReach(m1, m2) || canReach(m2, m1) {
+		t.Fatalf("branches reach each other:\n%s", g)
+	}
+	r := g.Reachable()
+	if !r[m1] || !r[m2] || !r[m3] {
+		t.Fatalf("branch blocks unreachable from entry:\n%s", g)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	g := buildFunc(t, header+`
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 2 {
+			continue
+		}
+		if i == 3 {
+			break
+		}
+		mark1()
+	}
+	mark2()
+}`, "f")
+	m1, m2 := markBlock(g, "mark1"), markBlock(g, "mark2")
+	if m1 == nil || m2 == nil {
+		t.Fatalf("marks missing:\n%s", g)
+	}
+	if !canReach(m1, m1) {
+		t.Fatalf("loop body has no back edge to itself:\n%s", g)
+	}
+	if !canReach(m1, m2) {
+		t.Fatalf("loop does not reach its exit:\n%s", g)
+	}
+	if !g.Reachable()[m2] {
+		t.Fatalf("loop exit unreachable:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopTail(t *testing.T) {
+	g := buildFunc(t, header+`
+func f() {
+	for {
+		mark1()
+	}
+	mark2()
+}`, "f")
+	m1, m2 := markBlock(g, "mark1"), markBlock(g, "mark2")
+	r := g.Reachable()
+	if !r[m1] {
+		t.Fatalf("loop body unreachable:\n%s", g)
+	}
+	if r[m2] {
+		t.Fatalf("statement after for{} should be unreachable:\n%s", g)
+	}
+	if r[g.Exit] {
+		t.Fatalf("exit reachable despite infinite loop:\n%s", g)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := buildFunc(t, header+`
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 1 {
+				break outer
+			}
+			mark1()
+		}
+	}
+	mark2()
+}`, "f")
+	m1, m2 := markBlock(g, "mark1"), markBlock(g, "mark2")
+	if m1 == nil || m2 == nil {
+		t.Fatalf("marks missing:\n%s", g)
+	}
+	if !canReach(m1, m2) {
+		t.Fatalf("labeled break does not reach loop exit:\n%s", g)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, header+`
+func f(x int) {
+	switch x {
+	case 1:
+		mark1()
+		fallthrough
+	case 2:
+		mark2()
+	default:
+		mark3()
+	}
+	mark4()
+}`, "f")
+	m1, m2, m3, m4 := markBlock(g, "mark1"), markBlock(g, "mark2"), markBlock(g, "mark3"), markBlock(g, "mark4")
+	if m1 == nil || m2 == nil || m3 == nil || m4 == nil {
+		t.Fatalf("marks missing:\n%s", g)
+	}
+	if !canReach(m1, m2) {
+		t.Fatalf("fallthrough edge missing:\n%s", g)
+	}
+	if canReach(m2, m3) || canReach(m3, m2) {
+		t.Fatalf("cases leak into each other:\n%s", g)
+	}
+	for _, m := range []*cfg.Block{m1, m2, m3} {
+		if !canReach(m, m4) {
+			t.Fatalf("case does not rejoin:\n%s", g)
+		}
+	}
+}
+
+func TestSwitchNoDefault(t *testing.T) {
+	g := buildFunc(t, header+`
+func f(x int) {
+	switch x {
+	case 1:
+		return
+	}
+	mark1()
+}`, "f")
+	m1 := markBlock(g, "mark1")
+	if m1 == nil || !g.Reachable()[m1] {
+		t.Fatalf("no-default switch must flow to the join:\n%s", g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := buildFunc(t, header+`
+func f(a, b chan int) {
+	select {
+	case <-a:
+		mark1()
+	case b <- 1:
+		mark2()
+	}
+	mark3()
+}`, "f")
+	m1, m2, m3 := markBlock(g, "mark1"), markBlock(g, "mark2"), markBlock(g, "mark3")
+	if m1 == nil || m2 == nil || m3 == nil {
+		t.Fatalf("marks missing:\n%s", g)
+	}
+	if m1 == m2 {
+		t.Fatalf("select cases share a block:\n%s", g)
+	}
+	if !canReach(m1, m3) || !canReach(m2, m3) {
+		t.Fatalf("select cases do not rejoin:\n%s", g)
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := buildFunc(t, header+`
+func f() {
+	select {}
+	mark1()
+}`, "f")
+	if m1 := markBlock(g, "mark1"); m1 != nil && g.Reachable()[m1] {
+		t.Fatalf("statement after select{} should be unreachable:\n%s", g)
+	}
+}
+
+func TestReturnAndPanicTerminate(t *testing.T) {
+	g := buildFunc(t, header+`
+func f(c bool) {
+	if c {
+		mark1()
+		return
+	}
+	panic("boom")
+	mark2()
+}`, "f")
+	m1, m2 := markBlock(g, "mark1"), markBlock(g, "mark2")
+	r := g.Reachable()
+	if !r[m1] {
+		t.Fatalf("then branch unreachable:\n%s", g)
+	}
+	if m2 != nil && r[m2] {
+		t.Fatalf("code after panic should be unreachable:\n%s", g)
+	}
+	if !canReach(m1, g.Exit) {
+		t.Fatalf("return does not reach exit:\n%s", g)
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g := buildFunc(t, header+`
+func f(c bool) {
+	if c {
+		goto done
+	}
+	mark1()
+done:
+	mark2()
+}`, "f")
+	m1, m2 := markBlock(g, "mark1"), markBlock(g, "mark2")
+	r := g.Reachable()
+	if !r[m1] || !r[m2] {
+		t.Fatalf("goto paths unreachable:\n%s", g)
+	}
+	if !canReach(m1, m2) {
+		t.Fatalf("fallthrough into label missing:\n%s", g)
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := buildFunc(t, header+`
+func f(c bool) {
+again:
+	mark1()
+	if c {
+		goto again
+	}
+	mark2()
+}`, "f")
+	m1, m2 := markBlock(g, "mark1"), markBlock(g, "mark2")
+	if !canReach(m1, m1) {
+		t.Fatalf("backward goto has no cycle:\n%s", g)
+	}
+	if !canReach(m1, m2) {
+		t.Fatalf("loop exit unreachable:\n%s", g)
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := buildFunc(t, header+`
+func f(c bool) {
+	defer mark1()
+	if c {
+		defer mark2()
+	}
+}`, "f")
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2:\n%s", len(g.Defers), g)
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildFunc(t, header+`
+func f(xs []int) {
+	for _, x := range xs {
+		_ = x
+		mark1()
+	}
+	mark2()
+}`, "f")
+	m1, m2 := markBlock(g, "mark1"), markBlock(g, "mark2")
+	if m1 == nil || m2 == nil {
+		t.Fatalf("marks missing:\n%s", g)
+	}
+	if !canReach(m1, m1) || !canReach(m1, m2) {
+		t.Fatalf("range loop edges wrong:\n%s", g)
+	}
+	// A range loop may run zero times: exit must be reachable without
+	// passing the body.
+	seen := map[*cfg.Block]bool{m1: true} // forbid the body
+	var walk func(b *cfg.Block) bool
+	walk = func(b *cfg.Block) bool {
+		if b == m2 {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if !walk(g.Entry) {
+		t.Fatalf("range exit requires passing the body:\n%s", g)
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := cfg.New(nil)
+	if !g.Reachable()[g.Exit] {
+		t.Fatal("empty body must reach exit")
+	}
+}
+
+func TestStringRenders(t *testing.T) {
+	g := buildFunc(t, header+`
+func f(c bool) {
+	if c {
+		mark1()
+	}
+}`, "f")
+	s := g.String()
+	if !strings.Contains(s, "entry") || !strings.Contains(s, "exit") {
+		t.Fatalf("String() missing entry/exit: %s", s)
+	}
+}

@@ -38,12 +38,17 @@ func Run(cfg Config) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkgs, err := discover(root)
+	moduleRoot, modulePath := findModule(root)
+	pkgs, err := discover(root, moduleRoot, modulePath)
 	if err != nil {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	if err := parseAll(fset, pkgs); err != nil {
+	if err := parseAll(fset, pkgs, modulePath); err != nil {
+		return nil, err
+	}
+	pkgs, err = loadClosure(fset, pkgs, moduleRoot, modulePath)
+	if err != nil {
 		return nil, err
 	}
 	order, err := dependencyOrder(pkgs)
@@ -68,6 +73,9 @@ func Run(cfg Config) ([]Diagnostic, error) {
 		}
 		imp.module[pd.importPath] = tpkg
 
+		if !pd.analyze {
+			continue // dependency loaded only so the root's packages type-check
+		}
 		pass := &Pass{Fset: fset, Files: pd.files, Info: info, Pkg: tpkg, RelDir: pd.relDir}
 		pass.report = func(d Diagnostic) { diags = append(diags, d) }
 		for _, a := range cfg.Analyzers {
@@ -76,7 +84,13 @@ func Run(cfg Config) ([]Diagnostic, error) {
 		}
 	}
 
-	diags = suppress(fset, pkgs, cfg.Analyzers, diags)
+	analyzed := pkgs[:0:0]
+	for _, pd := range pkgs {
+		if pd.analyze {
+			analyzed = append(analyzed, pd)
+		}
+	}
+	diags = suppress(fset, analyzed, cfg.Analyzers, diags)
 	sortDiagnostics(diags)
 	return diags, nil
 }
@@ -84,8 +98,9 @@ func Run(cfg Config) ([]Diagnostic, error) {
 // pkgDir is one directory of non-test Go files.
 type pkgDir struct {
 	dir        string // absolute
-	relDir     string // module-root-relative, "" for the root itself
+	relDir     string // lint-root-relative, "" for the root itself
 	importPath string
+	analyze    bool // false for packages loaded only as dependencies
 	goFiles    []string
 	files      []*ast.File
 	imports    map[string]bool // module-internal imports only
@@ -101,18 +116,32 @@ func skipDir(name string) bool {
 
 var moduleRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
 
-// discover walks root for directories containing non-test Go files. The
-// import path of each package is derived from root's go.mod when one
-// exists ("scouts/internal/core"); fixture roots without a go.mod get a
-// synthetic "lintfixture/" prefix — their packages never import each
-// other, so the prefix only needs to be unique.
-func discover(root string) ([]*pkgDir, error) {
-	modulePath := "lintfixture"
-	if data, err := os.ReadFile(filepath.Join(root, "go.mod")); err == nil {
-		if m := moduleRE.FindSubmatch(data); m != nil {
-			modulePath = string(m[1])
+// findModule walks up from root looking for a go.mod, so a subtree lint
+// (`scoutlint internal/lint`) derives real import paths and can resolve
+// module-internal imports that point outside the subtree. Roots outside
+// any module — bare fixture trees — get a synthetic "lintfixture" path;
+// their packages never import each other, so it only needs to be unique.
+func findModule(root string) (moduleRoot, modulePath string) {
+	for dir := root; ; {
+		if data, err := os.ReadFile(filepath.Join(dir, "go.mod")); err == nil {
+			if m := moduleRE.FindSubmatch(data); m != nil {
+				return dir, string(m[1])
+			}
 		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return root, "lintfixture"
+		}
+		dir = parent
 	}
+}
+
+// discover walks root for directories containing non-test Go files.
+// Import paths are moduleRoot-relative ("scouts/internal/lint/cfg");
+// relDir stays root-relative, because the path-scoped analyzer
+// exemptions (cmd/, examples/) are about where a package sits under the
+// tree being linted, not under the module.
+func discover(root, moduleRoot, modulePath string) ([]*pkgDir, error) {
 	var pkgs []*pkgDir
 	byDir := map[string]*pkgDir{}
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
@@ -139,11 +168,15 @@ func discover(root string) ([]*pkgDir, error) {
 				rel = ""
 			}
 			rel = filepath.ToSlash(rel)
-			ip := modulePath
-			if rel != "" {
-				ip = modulePath + "/" + rel
+			modRel, err := filepath.Rel(moduleRoot, dir)
+			if err != nil {
+				return err
 			}
-			pd = &pkgDir{dir: dir, relDir: rel, importPath: ip, imports: map[string]bool{}}
+			ip := modulePath
+			if modRel != "." {
+				ip = modulePath + "/" + filepath.ToSlash(modRel)
+			}
+			pd = &pkgDir{dir: dir, relDir: rel, importPath: ip, analyze: true, imports: map[string]bool{}}
 			byDir[dir] = pd
 			pkgs = append(pkgs, pd)
 		}
@@ -162,30 +195,90 @@ func discover(root string) ([]*pkgDir, error) {
 
 // parseAll parses every discovered file (with comments, needed for both
 // directives and suppressions) and records module-internal imports.
-func parseAll(fset *token.FileSet, pkgs []*pkgDir) error {
-	intern := map[string]bool{}
+func parseAll(fset *token.FileSet, pkgs []*pkgDir, modulePath string) error {
 	for _, pd := range pkgs {
-		intern[pd.importPath] = true
+		if err := parsePkg(fset, pd, modulePath); err != nil {
+			return err
+		}
 	}
-	for _, pd := range pkgs {
-		for _, path := range pd.goFiles {
-			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	return nil
+}
+
+// parsePkg parses one package directory's files and records its
+// module-internal imports (by modulePath prefix, whether or not the
+// imported package was discovered under the lint root — loadClosure
+// pulls in the rest).
+func parsePkg(fset *token.FileSet, pd *pkgDir, modulePath string) error {
+	prefix := modulePath + "/"
+	for _, path := range pd.goFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		pd.files = append(pd.files, f)
+		for _, im := range f.Imports {
+			ip, err := strconv.Unquote(im.Path.Value)
 			if err != nil {
-				return err
+				continue
 			}
-			pd.files = append(pd.files, f)
-			for _, im := range f.Imports {
-				ip, err := strconv.Unquote(im.Path.Value)
-				if err != nil {
-					continue
-				}
-				if intern[ip] {
-					pd.imports[ip] = true
-				}
+			if ip == modulePath || strings.HasPrefix(ip, prefix) {
+				pd.imports[ip] = true
 			}
 		}
 	}
 	return nil
+}
+
+// loadClosure resolves module-internal imports that were not discovered
+// under the lint root: each is mapped back to its directory under the
+// module root, parsed, and added with analyze=false — type-check fodder,
+// never a source of findings. Runs to a fixpoint so transitive
+// dependencies load too.
+func loadClosure(fset *token.FileSet, pkgs []*pkgDir, moduleRoot, modulePath string) ([]*pkgDir, error) {
+	byPath := map[string]*pkgDir{}
+	for _, pd := range pkgs {
+		byPath[pd.importPath] = pd
+	}
+	queue := slices.Clone(pkgs)
+	for len(queue) > 0 {
+		pd := queue[0]
+		queue = queue[1:]
+		deps := make([]string, 0, len(pd.imports))
+		for ip := range pd.imports {
+			deps = append(deps, ip)
+		}
+		slices.Sort(deps)
+		for _, ip := range deps {
+			if byPath[ip] != nil {
+				continue
+			}
+			rel := strings.TrimPrefix(strings.TrimPrefix(ip, modulePath), "/")
+			dir := filepath.Join(moduleRoot, filepath.FromSlash(rel))
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				return nil, fmt.Errorf("resolve module-internal import %q: %w", ip, err)
+			}
+			np := &pkgDir{dir: dir, relDir: filepath.ToSlash(rel), importPath: ip, imports: map[string]bool{}}
+			for _, e := range entries {
+				name := e.Name()
+				if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+					continue
+				}
+				np.goFiles = append(np.goFiles, filepath.Join(dir, name))
+			}
+			if len(np.goFiles) == 0 {
+				return nil, fmt.Errorf("resolve module-internal import %q: no Go files in %s", ip, dir)
+			}
+			slices.Sort(np.goFiles)
+			if err := parsePkg(fset, np, modulePath); err != nil {
+				return nil, err
+			}
+			byPath[ip] = np
+			pkgs = append(pkgs, np)
+			queue = append(queue, np)
+		}
+	}
+	return pkgs, nil
 }
 
 // dependencyOrder topologically sorts the packages so every module-
@@ -217,8 +310,10 @@ func dependencyOrder(pkgs []*pkgDir) ([]*pkgDir, error) {
 		}
 		slices.Sort(deps)
 		for _, ip := range deps {
-			if err := visit(byPath[ip]); err != nil {
-				return err
+			if dep := byPath[ip]; dep != nil {
+				if err := visit(dep); err != nil {
+					return err
+				}
 			}
 		}
 		state[pd.importPath] = done

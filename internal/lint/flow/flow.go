@@ -1,0 +1,96 @@
+// Package flow is a generic forward worklist dataflow engine over the
+// cfg package's graphs. An analysis supplies a join semilattice — an
+// entry fact, a Join, and an Equal — plus a transfer function mapping a
+// block's input fact to its output fact; the engine iterates to a
+// fixpoint and hands back the per-block input facts. Analyzers then make
+// one reporting pass per block, replaying the transfer from the settled
+// input fact and flagging nodes whose fact violates the invariant.
+//
+// The engine is optimistic: a block's fact is unset until the first
+// value flows into it, and Join only ever combines facts that actually
+// arrived along an edge. That makes must-analyses (Join = intersection)
+// precise on loops without a special "top" element: the back edge's
+// first contribution is whatever the loop body established, not a
+// pessimistic bottom.
+//
+// Iteration order is deterministic — blocks are processed in index
+// order, which the cfg builder makes source order — so analyzer output
+// is stable run to run, the same invariant the determinism analyzer
+// enforces on the rest of the repository.
+package flow
+
+import (
+	"scouts/internal/lint/cfg"
+)
+
+// Lattice is the fact domain of one analysis.
+type Lattice[F any] interface {
+	// Entry is the fact holding at function entry.
+	Entry() F
+	// Join combines the facts arriving along two edges into the fact
+	// holding where they meet. It must be commutative, associative and
+	// idempotent, and must not mutate its arguments.
+	Join(a, b F) F
+	// Equal reports whether two facts are indistinguishable; the
+	// fixpoint stops when every block's input fact stops changing.
+	Equal(a, b F) bool
+}
+
+// Transfer maps a block's input fact to its output fact. It must not
+// mutate in; return a fresh fact (or in itself when nothing changed).
+type Transfer[F any] func(b *cfg.Block, in F) F
+
+// Result holds the settled facts of one Forward run.
+type Result[F any] struct {
+	// In[b] is the fact at b's start; unset (ok == false in At) for
+	// blocks unreachable from Entry.
+	in  map[*cfg.Block]F
+	set map[*cfg.Block]bool
+}
+
+// At returns the input fact of b and whether b was ever reached.
+func (r *Result[F]) At(b *cfg.Block) (F, bool) {
+	f, ok := r.in[b], r.set[b]
+	return f, ok
+}
+
+// maxPasses bounds fixpoint iteration. Facts in this package's analyses
+// come from finite lattices (bools, small sets keyed by syntax), so
+// termination is structural; the bound is a backstop against a buggy
+// Join that oscillates, sized far above any real function's needs.
+const maxPasses = 64
+
+// Forward runs the analysis to fixpoint and returns the per-block input
+// facts.
+func Forward[F any](g *cfg.Graph, lat Lattice[F], tf Transfer[F]) *Result[F] {
+	res := &Result[F]{in: map[*cfg.Block]F{}, set: map[*cfg.Block]bool{}}
+	res.in[g.Entry] = lat.Entry()
+	res.set[g.Entry] = true
+
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, b := range g.Blocks {
+			if !res.set[b] {
+				continue
+			}
+			out := tf(b, res.in[b])
+			for _, s := range b.Succs {
+				if !res.set[s] {
+					res.in[s] = out
+					res.set[s] = true
+					changed = true
+					continue
+				}
+				joined := lat.Join(res.in[s], out)
+				if !lat.Equal(joined, res.in[s]) {
+					res.in[s] = joined
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return res
+}

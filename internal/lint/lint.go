@@ -93,16 +93,30 @@ func All() []*Analyzer {
 		HTTPGuard,
 		Obs,
 		BinIO,
+		CtxFlow,
+		Leak,
+		Atomicity,
+		FsyncRename,
 	}
 }
 
 // ---- shared type-resolution helpers ----
 
 // calleeFunc resolves a call to its static callee, or nil for calls
-// through function values, method values and built-ins.
+// through function values, method values and built-ins. Explicit generic
+// instantiations (f[T](x)) are unwrapped to the generic function; an
+// index expression that is really a map/slice access resolves to a
+// non-func object and falls out as nil.
 func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch v := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(v.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(v.X)
+	}
 	var id *ast.Ident
-	switch fn := ast.Unparen(call.Fun).(type) {
+	switch fn := fun.(type) {
 	case *ast.Ident:
 		id = fn
 	case *ast.SelectorExpr:
@@ -142,6 +156,22 @@ func objectOf(info *types.Info, e ast.Expr) types.Object {
 		return obj
 	}
 	return info.Defs[id]
+}
+
+// exprObject resolves an identifier or a field/package selector to its
+// object: the variable for `ch`, the field for `s.ch` (one *types.Var
+// shared by every instance of the struct), the package var for `pkg.V`.
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return objectOf(info, v)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[v]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[v.Sel]
+	}
+	return nil
 }
 
 // recvKey renders a lock receiver ("s.mu", "mu") so Lock/Unlock calls on

@@ -1,0 +1,129 @@
+package lint
+
+// SARIF 2.1.0 rendering of a lint run. The output is byte-deterministic:
+// rules come from the analyzer catalog sorted by name, results are
+// assumed pre-sorted by sortDiagnostics (Run's postcondition), struct
+// field order fixes the JSON key order, and the encoder appends a single
+// trailing newline. Two consecutive runs over an unchanged tree produce
+// identical bytes, so lint.sarif diffs cleanly as a CI artifact.
+//
+// File paths in the diagnostics should already be root-relative and
+// slash-separated (cmd/scoutlint relativizes before rendering); SARIF
+// artifact URIs are required to be slash-separated, so absolute paths
+// are converted defensively here too.
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"slices"
+	"strings"
+)
+
+const (
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIF renders the findings as a SARIF 2.1.0 document. analyzers feeds
+// the rule catalog (pass All() for the full suite); every diagnostic's
+// Check should name one of them, but unknown checks still render — the
+// "allow" pseudo-check for malformed suppressions has no analyzer.
+func SARIF(diags []Diagnostic, analyzers []*Analyzer) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	slices.SortFunc(rules, func(a, b sarifRule) int { return strings.Compare(a.ID, b.ID) })
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Check,
+			Level:   "warning",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(d.File)},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "scoutlint",
+				InformationURI: "https://example.invalid/scouts/scoutlint",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(log); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

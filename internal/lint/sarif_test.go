@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	d := []Diagnostic{
+		{File: "internal/serving/diskstore.go", Line: 90, Col: 2, Check: "fsyncrename", Message: "rename with no File.Sync on some path"},
+		{File: "cmd/scoutd/main.go", Line: 10, Col: 5, Check: "ctxflow", Message: "time.Sleep blocks with no prior ctx check"},
+	}
+	sortDiagnostics(d)
+	return d
+}
+
+func TestSARIFDeterministic(t *testing.T) {
+	diags := sampleDiags()
+	a, err := SARIF(diags, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SARIF(diags, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two SARIF renders of the same findings differ:\n%s\n----\n%s", a, b)
+	}
+	if !bytes.HasSuffix(a, []byte("\n")) {
+		t.Fatalf("SARIF output should end in a newline")
+	}
+}
+
+func TestSARIFShape(t *testing.T) {
+	doc, err := SARIF(sampleDiags(), All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(doc, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Fatalf("version/schema = %q / %q, want 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "scoutlint" {
+		t.Fatalf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(All()) {
+		t.Fatalf("rules = %d, want one per analyzer (%d)", len(run.Tool.Driver.Rules), len(All()))
+	}
+	for i := 1; i < len(run.Tool.Driver.Rules); i++ {
+		if run.Tool.Driver.Rules[i-1].ID >= run.Tool.Driver.Rules[i].ID {
+			t.Fatalf("rules not sorted: %q before %q", run.Tool.Driver.Rules[i-1].ID, run.Tool.Driver.Rules[i].ID)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	// sortDiagnostics orders by file, so cmd/scoutd comes first.
+	first := run.Results[0]
+	if first.RuleID != "ctxflow" || first.Level != "warning" {
+		t.Fatalf("first result = %q/%q", first.RuleID, first.Level)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "cmd/scoutd/main.go" || loc.Region.StartLine != 10 || loc.Region.StartColumn != 5 {
+		t.Fatalf("first location = %+v", loc)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := sampleDiags()
+	// Duplicate a finding: the baseline is a set, so it dedups.
+	b := NewBaseline(append(diags, diags[0]))
+	if len(b.Findings) != 2 {
+		t.Fatalf("baseline entries = %d, want 2 (deduplicated)", len(b.Findings))
+	}
+	doc, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lint.baseline.json")
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Findings) != 2 || got.Version != 1 {
+		t.Fatalf("round trip = %+v", got)
+	}
+
+	fresh, old := got.Filter(append(diags, Diagnostic{
+		File: "internal/core/new.go", Line: 3, Col: 1, Check: "leak", Message: "goroutine sends on unbuffered channel ch outside a select",
+	}))
+	if len(old) != 2 {
+		t.Fatalf("grandfathered = %d, want 2", len(old))
+	}
+	if len(fresh) != 1 || fresh[0].Check != "leak" {
+		t.Fatalf("fresh = %+v, want the one leak finding", fresh)
+	}
+}
+
+func TestBaselineIgnoresLine(t *testing.T) {
+	d := sampleDiags()[0]
+	base := NewBaseline([]Diagnostic{d})
+	moved := d
+	moved.Line += 40 // the finding shifted; same file, check, message
+	fresh, old := base.Filter([]Diagnostic{moved})
+	if len(fresh) != 0 || len(old) != 1 {
+		t.Fatalf("a line-shifted finding should stay grandfathered; fresh=%v old=%v", fresh, old)
+	}
+}
+
+func TestBaselineEmptyMarshal(t *testing.T) {
+	doc, err := NewBaseline(nil).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "{\n  \"version\": 1,\n  \"findings\": []\n}\n"
+	if string(doc) != want {
+		t.Fatalf("empty baseline = %q, want %q", doc, want)
+	}
+}

@@ -1,0 +1,66 @@
+// Package atomicity exercises the atomicity analyzer: a variable
+// updated through old-style sync/atomic calls must never be touched
+// with a plain load or store.
+package atomicity
+
+import "sync/atomic"
+
+type Counter struct {
+	hits int64
+	name string
+}
+
+// Incr establishes the atomic protocol for hits.
+func (c *Counter) Incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Load follows the protocol.
+func (c *Counter) Load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// PlainRead races with Incr.
+func (c *Counter) PlainRead() int64 {
+	return c.hits // want "plain access of hits"
+}
+
+// PlainWrite races with Incr.
+func (c *Counter) PlainWrite() {
+	c.hits = 0 // want "plain access of hits"
+}
+
+// Name touches a field with no atomic history: fine.
+func (c *Counter) Name() string { return c.name }
+
+// Fresh initializes a new, unshared value: composite-literal keys are
+// exempt.
+func Fresh() *Counter {
+	return &Counter{hits: 0, name: "fresh"}
+}
+
+var gauge int32
+
+// Bump establishes the protocol for the package var.
+func Bump() {
+	atomic.AddInt32(&gauge, 1)
+}
+
+// Read follows it.
+func Read() int32 {
+	return atomic.LoadInt32(&gauge)
+}
+
+// Mixed forgets it.
+func Mixed() {
+	gauge = 0 // want "plain access of gauge"
+}
+
+// typed atomics police themselves; no findings on any access.
+type Typed struct {
+	n atomic.Int64
+}
+
+func (t *Typed) Incr() { t.n.Add(1) }
+
+func (t *Typed) Load() int64 { return t.n.Load() }

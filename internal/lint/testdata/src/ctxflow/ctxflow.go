@@ -1,0 +1,144 @@
+// Package ctxflow exercises the ctxflow analyzer: blocking operations
+// in a ctx-carrying function must be dominated by a consultation of the
+// context — ctx.Err/Done/Deadline, a select with a ctx.Done() case, or
+// passing ctx to a callee — on every path from entry.
+package ctxflow
+
+import (
+	"context"
+	"os"
+	"sync"
+	"time"
+)
+
+func helper(ctx context.Context) {}
+
+// SleepUnguarded blocks with no consultation at all.
+func SleepUnguarded(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want "time.Sleep blocks with no prior ctx check"
+}
+
+// SleepGuarded checks ctx.Err on every path first.
+func SleepGuarded(ctx context.Context) {
+	if ctx.Err() != nil {
+		return
+	}
+	time.Sleep(time.Millisecond)
+}
+
+// OneArmedCheck consults ctx on one branch only; the join is unguarded.
+func OneArmedCheck(ctx context.Context, c bool) {
+	if c {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+	time.Sleep(time.Millisecond) // want "time.Sleep blocks with no prior ctx check"
+}
+
+// BothArmsCheck consults ctx on both branches; the join is guarded.
+func BothArmsCheck(ctx context.Context, c bool) {
+	if c {
+		if ctx.Err() != nil {
+			return
+		}
+	} else {
+		<-ctx.Done()
+	}
+	time.Sleep(time.Millisecond)
+}
+
+// BareRecv receives with no escape.
+func BareRecv(ctx context.Context, ch chan int) int {
+	return <-ch // want "channel receive <-ch may block forever"
+}
+
+// SelectDone guards the receive with a ctx.Done case.
+func SelectDone(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// SelectNoEscape blocks on data channels with no way to cancel.
+func SelectNoEscape(ctx context.Context, a, b chan int) {
+	select { // want "select blocks with no ctx.Done"
+	case <-a:
+	case <-b:
+	}
+}
+
+// SelectDefault polls; it never blocks.
+func SelectDefault(ctx context.Context, a chan int) {
+	select {
+	case <-a:
+	default:
+	}
+}
+
+// SendUnguarded sends with no escape.
+func SendUnguarded(ctx context.Context, ch chan int) {
+	ch <- 1 // want "channel send ch <- ... may block forever"
+}
+
+// Delegate hands ctx to the callee before blocking; the callee owns
+// cancellation from there on.
+func Delegate(ctx context.Context, ch chan int) {
+	helper(ctx)
+	<-ch
+}
+
+// FreshBackground does not count as consulting the caller's ctx.
+func FreshBackground(ctx context.Context, ch chan int) {
+	helper(context.Background())
+	<-ch // want "channel receive <-ch may block forever"
+}
+
+// WaitUnguarded parks on a WaitGroup with no consultation.
+func WaitUnguarded(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want "Wait blocks with no prior ctx check"
+}
+
+// LoopFirstIteration: the check happens after the receive, so the first
+// iteration is unguarded.
+func LoopFirstIteration(ctx context.Context, ch chan int) {
+	for {
+		<-ch // want "channel receive <-ch may block forever"
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// LoopGuarded re-checks at the top of every iteration.
+func LoopGuarded(ctx context.Context, ch chan int) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		<-ch
+	}
+}
+
+// RangeChan blocks between messages with no escape.
+func RangeChan(ctx context.Context, ch chan int) {
+	for v := range ch { // want "range over channel ch blocks"
+		_ = v
+	}
+}
+
+// FileRead performs file I/O with no consultation.
+func FileRead(ctx context.Context, path string) ([]byte, error) {
+	return os.ReadFile(path) // want "os.ReadFile performs file I/O"
+}
+
+// FileReadGuarded consults first.
+func FileReadGuarded(ctx context.Context, path string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}

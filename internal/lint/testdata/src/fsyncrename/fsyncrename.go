@@ -1,0 +1,203 @@
+// Package fsyncrename exercises the fsyncrename analyzer: os.Rename of
+// a freshly written file needs File.Sync before it and a directory sync
+// after it, on every path.
+package fsyncrename
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// syncDir is the directory-sync shape the analyzer recognizes: Sync on
+// an os.Open handle.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// SaveGood does everything right: write, sync, close, rename, dir sync.
+func SaveGood(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "good.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "good")); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// SaveNoSync renames a file that was never fsynced.
+func SaveNoSync(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "nosync.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	if err := os.Rename(tmp, filepath.Join(dir, "nosync")); err != nil { // want "no File.Sync on some path"
+		return err
+	}
+	return syncDir(dir)
+}
+
+// SyncOneArm syncs on one branch only; the other path reaches the
+// rename dirty.
+func SyncOneArm(dir string, data []byte, extra bool) error {
+	tmp := filepath.Join(dir, "onearm.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if extra {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	f.Close()
+	if err := os.Rename(tmp, filepath.Join(dir, "onearm")); err != nil { // want "no File.Sync on some path"
+		return err
+	}
+	return syncDir(dir)
+}
+
+// SaveNoDirSync syncs the file but forgets the directory.
+func SaveNoDirSync(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "nodir.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "nodir")) // want "no directory sync"
+}
+
+// SaveDeferred discharges the directory sync with a defer, which runs
+// at every exit.
+func SaveDeferred(dir string, data []byte) (err error) {
+	defer func() {
+		if serr := syncDir(dir); err == nil {
+			err = serr
+		}
+	}()
+	tmp := filepath.Join(dir, "deferred.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "deferred"))
+}
+
+// SaveWriteFile commits bytes that os.WriteFile never fsyncs.
+func SaveWriteFile(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "wf.tmp")
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "wf")); err != nil { // want "os.WriteFile, which never fsyncs"
+		return err
+	}
+	return syncDir(dir)
+}
+
+// replaceFile is a renamer: the obligation to sync the directory
+// propagates to its callers rather than being reported here.
+func replaceFile(tmp, dst string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// CallerGood discharges the helper's obligation on every path: the
+// error return means the rename did not commit.
+func CallerGood(dir string, data []byte) error {
+	if err := replaceFile(filepath.Join(dir, "cg.tmp"), filepath.Join(dir, "cg"), data); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// CallerBad forgets the directory sync entirely.
+func CallerBad(dir string, data []byte) error {
+	return replaceFile(filepath.Join(dir, "cb.tmp"), filepath.Join(dir, "cb"), data) // want "renames a freshly written file"
+}
+
+// LoopThenFail: the second iteration's error return abandons the first
+// iteration's committed rename with no directory sync.
+func LoopThenFail(dir string, blobs [][]byte) error {
+	for i, b := range blobs {
+		if err := replaceFile( // want "renames a freshly written file"
+			filepath.Join(dir, "part.tmp"),
+			filepath.Join(dir, "part"),
+			b,
+		); err != nil {
+			return err
+		}
+		_ = i
+	}
+	return nil
+}
+
+// MoveExisting renames a file it did not write: out of scope.
+func MoveExisting(src, dst string) error {
+	return os.Rename(src, dst)
+}

@@ -1,0 +1,104 @@
+// Package leak exercises the leak analyzer: goroutines that can block
+// forever on a channel operation with no select/done/ctx escape.
+package leak
+
+import (
+	"context"
+	"time"
+)
+
+// SpawnSendNoEscape leaks when the receiver is gone.
+func SpawnSendNoEscape(ch chan int) {
+	go func() {
+		ch <- 1 // want "sends on unbuffered channel ch outside a select"
+	}()
+}
+
+// SpawnSendBuffered cannot block: the buffer absorbs the send.
+func SpawnSendBuffered() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	_ = ch
+}
+
+// SpawnSendSelect escapes through ctx.Done.
+func SpawnSendSelect(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// SpawnRecvNoEscape leaks when the sender is gone.
+func SpawnRecvNoEscape(ch chan int) {
+	go func() {
+		<-ch // want "receives on channel ch outside a select"
+	}()
+}
+
+// SpawnRecvDone waits on a close-to-signal channel; closing releases it.
+func SpawnRecvDone(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// SpawnRecvTimer waits on a source that fires by design.
+func SpawnRecvTimer() {
+	go func() {
+		<-time.After(time.Millisecond)
+	}()
+}
+
+// SpawnRange leaks unless the producer always closes the channel.
+func SpawnRange(ch chan int) {
+	go func() {
+		for v := range ch { // want "ranges over channel ch"
+			_ = v
+		}
+	}()
+}
+
+// SpawnSelectNoEscape: every case can block forever.
+func SpawnSelectNoEscape(a, b chan int) {
+	go func() {
+		select { // want "select in goroutine has no default or done/ctx escape"
+		case <-a:
+		case <-b:
+		}
+	}()
+}
+
+// SpawnSelectTicker: a ticker case keeps the goroutine live by design.
+func SpawnSelectTicker(work chan int, t *time.Ticker) {
+	go func() {
+		select {
+		case <-work:
+		case <-t.C:
+		}
+	}()
+}
+
+// SpawnUnreachable: the send sits behind an unconditional return; no
+// real execution reaches it.
+func SpawnUnreachable(ch chan int) {
+	go func() {
+		return
+		ch <- 1
+	}()
+}
+
+// worker is only ever launched as a goroutine; its body is analyzed at
+// the launch site.
+func worker(ch chan int) {
+	ch <- 2 // want "sends on unbuffered channel ch outside a select"
+}
+
+// SpawnNamed launches a named same-package function.
+func SpawnNamed(ch chan int) {
+	go worker(ch)
+}

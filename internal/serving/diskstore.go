@@ -67,11 +67,18 @@ func checksumOf(payload []byte) string {
 // temp file in the same directory, the temp file is fsynced before the
 // atomic rename, and the directory itself is fsynced after, so a crash at
 // any instant leaves either the old file, the new file, or an ignorable
-// *.tmp — never a half-written model under the final name.
-func SaveStore(st *Store, dir string) error {
+// *.tmp — never a half-written model under the final name. The directory
+// sync is deferred so it also covers error returns: a save that fails on
+// version N must not leave versions 1..N-1 renamed but undurable.
+func SaveStore(st *Store, dir string) (err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("serving: creating %s: %w", dir, err)
 	}
+	defer func() {
+		if serr := syncDir(dir); err == nil {
+			err = serr
+		}
+	}()
 	st.mu.Lock()
 	models := append([]Model(nil), st.models...)
 	st.mu.Unlock()
@@ -104,7 +111,7 @@ func SaveStore(st *Store, dir string) error {
 			return err
 		}
 	}
-	return syncDir(dir)
+	return nil
 }
 
 // timeLayout serializes TrainedAt in the pack envelope exactly as
@@ -278,7 +285,7 @@ func quarantineFile(path, reason string) QuarantinedFile {
 // readers — LoadStore prefers the pack). Versions already packed are
 // skipped. It returns the versions converted. Damaged files are left
 // alone for LoadStore's quarantine to handle.
-func RepackStore(dir string) ([]int, error) {
+func RepackStore(dir string) (converted []int, err error) {
 	st, _, err := LoadStoreOptions(dir, LoadOptions{EagerVersions: -1})
 	if err != nil {
 		return nil, err
@@ -286,7 +293,17 @@ func RepackStore(dir string) ([]int, error) {
 	st.mu.Lock()
 	models := append([]Model(nil), st.models...)
 	st.mu.Unlock()
-	var converted []int
+	// Deferred so an error return after some versions were already packed
+	// still fsyncs the directory — those renames are committed and must be
+	// durable.
+	defer func() {
+		if len(converted) == 0 {
+			return
+		}
+		if serr := syncDir(dir); err == nil {
+			err = serr
+		}
+	}()
 	for _, m := range models {
 		if core.IsScoutpack(m.Snapshot) {
 			continue
@@ -302,11 +319,6 @@ func RepackStore(dir string) ([]int, error) {
 			return converted, err
 		}
 		converted = append(converted, m.Version)
-	}
-	if len(converted) > 0 {
-		if err := syncDir(dir); err != nil {
-			return converted, err
-		}
 	}
 	return converted, nil
 }

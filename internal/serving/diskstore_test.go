@@ -183,3 +183,39 @@ func TestSaveStoreEmptyOK(t *testing.T) {
 		t.Fatal("expected empty store")
 	}
 }
+
+// TestSaveStorePartialFailureStillDurable pins the fsyncrename fix: a
+// save that fails midway (here: a lazy model whose backing file is
+// gone) must still return an error, AND the versions committed before
+// the failure must remain present and loadable — SaveStore's deferred
+// directory sync runs on the error path too, so those renames are not
+// abandoned undurable.
+func TestSaveStorePartialFailureStillDurable(t *testing.T) {
+	dir := t.TempDir()
+	st := NewStore()
+	st.Put("PhyNet", []byte(`{"a":1}`))
+	// Append an unmaterializable model: Snapshot nil and a backing path
+	// that does not exist, so SaveStore's materialization via Get fails
+	// after v1 has already been written and renamed.
+	st.mu.Lock()
+	st.models = append(st.models, Model{
+		Version: 2,
+		Team:    "PhyNet",
+		path:    filepath.Join(dir, "never-existed.json"),
+	})
+	st.mu.Unlock()
+
+	if err := SaveStore(st, dir); err == nil {
+		t.Fatal("SaveStore should fail on the unmaterializable model")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "model-000001.json")); err != nil {
+		t.Fatalf("v1 should be committed despite the later failure: %v", err)
+	}
+	loaded, _, err := LoadStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := loaded.Get(1); !ok || string(m.Snapshot) != `{"a":1}` {
+		t.Fatalf("v1 not loadable after partial save: %+v", m)
+	}
+}
