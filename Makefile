@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint lint-baseline lint-selfcheck bench bench-pr3 bench-workers bench-smoke loadgen-smoke chaos-smoke soak-smoke pack-smoke soak ci clean
+.PHONY: all build vet test race lint lint-baseline lint-selfcheck bench bench-pr3 bench-workers bench-smoke loadgen-smoke chaos-smoke soak-smoke pack-smoke fleet-smoke soak ci clean
 
 all: ci
 
@@ -116,6 +116,48 @@ pack-smoke:
 	/tmp/scouts-pack-scoutctl inspect $$dir/model-000001.pack; \
 	/tmp/scouts-pack-scoutctl pack $$dir
 
+# Fleet smoke: the resilient-gateway kill test with real processes. The
+# in-process halves (loadgen -fleet plumbing, the gateway's own kill
+# test) run first under the race detector; then three scoutd replicas
+# share one -store (the first boot trains and publishes, the other two
+# load the same scoutpack), scoutgw fronts them, and loadgen -fleet
+# SIGTERMs the middle replica two seconds into a six-second burst. The
+# SLO is zero failed non-shed requests: every client answer is a 200, a
+# 4xx, or an honored 429 — never a transport error or 5xx — with the
+# gateway's retries/hedges/breaker trips reported in FLEET_SMOKE.json.
+fleet-smoke:
+	$(GO) test -race -run 'TestDriveHonors429|TestDriveSheds|TestJudgeFleet|TestLoadgenFleet' -count 1 ./cmd/loadgen
+	$(GO) test -race -run 'TestFleetSurvivesReplicaKillMidBurst' -count 1 ./internal/gateway
+	$(GO) build -o /tmp/scouts-fleet-scoutd ./cmd/scoutd
+	$(GO) build -o /tmp/scouts-fleet-scoutgw ./cmd/scoutgw
+	$(GO) build -o /tmp/scouts-fleet-loadgen ./cmd/loadgen
+	@set -e; dir=$$(mktemp -d); \
+	trap 'kill $$p1 $$p2 $$p3 $$pg 2>/dev/null || true; rm -rf $$dir' EXIT; \
+	/tmp/scouts-fleet-scoutd -addr 127.0.0.1:8101 -days 5 -rate 4 -store $$dir & p1=$$!; \
+	for i in $$(seq 1 120); do \
+		curl -fsS http://127.0.0.1:8101/v1/health >/dev/null 2>&1 && break; \
+		sleep 1; \
+	done; \
+	/tmp/scouts-fleet-scoutd -addr 127.0.0.1:8102 -days 5 -rate 4 -store $$dir & p2=$$!; \
+	/tmp/scouts-fleet-scoutd -addr 127.0.0.1:8103 -days 5 -rate 4 -store $$dir & p3=$$!; \
+	for port in 8102 8103; do \
+		for i in $$(seq 1 120); do \
+			curl -fsS http://127.0.0.1:$$port/v1/health >/dev/null 2>&1 && break; \
+			sleep 1; \
+		done; \
+	done; \
+	/tmp/scouts-fleet-scoutgw -addr 127.0.0.1:8104 \
+		-replica r1=phynet=http://127.0.0.1:8101 \
+		-replica r2=phynet=http://127.0.0.1:8102 \
+		-replica r3=phynet=http://127.0.0.1:8103 & pg=$$!; \
+	for i in $$(seq 1 120); do \
+		curl -fsS http://127.0.0.1:8104/v1/health >/dev/null 2>&1 && break; \
+		sleep 1; \
+	done; \
+	/tmp/scouts-fleet-loadgen -url http://127.0.0.1:8104 -fleet -seed 7 -days 5 -rate 4 \
+		-c 4 -duration 6s -kill-pid $$p2 -kill-after 2s -out FLEET_SMOKE.json
+	@cat FLEET_SMOKE.json
+
 # Project-specific static analysis (cmd/scoutlint): determinism, map
 # iteration order, reflective sorts, hot-path allocations, lock hygiene,
 # HTTP input hardening, plus the flow-sensitive suite (ctxflow, leak,
@@ -136,7 +178,7 @@ lint-baseline:
 lint-selfcheck:
 	$(GO) run ./cmd/scoutlint internal/lint
 
-ci: vet lint lint-selfcheck build race bench-smoke loadgen-smoke chaos-smoke soak-smoke pack-smoke
+ci: vet lint lint-selfcheck build race bench-smoke loadgen-smoke chaos-smoke soak-smoke pack-smoke fleet-smoke
 
 clean:
 	$(GO) clean ./...

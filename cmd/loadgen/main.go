@@ -70,6 +70,16 @@ type Report struct {
 	// Disconnects counts requests loadgen aborted mid-body on purpose
 	// (chaos mode only); they are not errors, they are the experiment.
 	Disconnects int `json:"disconnects,omitempty"`
+	// Retries counts re-issued attempts after a 429: loadgen honors the
+	// server's Retry-After hint (sleeps it out, then retries the same
+	// payload) instead of hammering a saturated server with fresh
+	// traffic. Kept apart from Requests so QPS still describes completed
+	// requests.
+	Retries int `json:"retries,omitempty"`
+	// Shed counts requests whose final answer was 429 because the run's
+	// deadline left no room to honor the hint — back-pressured by design,
+	// not failed.
+	Shed int `json:"shed,omitempty"`
 }
 
 func main() {
@@ -83,6 +93,10 @@ func main() {
 	rate := flag.Float64("rate", 6, "incidents per day in the corpus")
 	chaos := flag.Bool("chaos", false, "interleave malformed JSON, oversized bodies and mid-body disconnects")
 	soak := flag.Bool("soak", false, "sustained run with periodic /metrics scrapes and an SLO verdict")
+	fleet := flag.Bool("fleet", false, "drive a scoutgw gateway and judge the zero-failed-non-shed fleet SLO")
+	team := flag.String("team", "", "team query parameter for fleet mode (empty = gateway default)")
+	killPID := flag.Int("kill-pid", 0, "fleet mode: SIGTERM this process mid-run (0 = no kill)")
+	killAfter := flag.Duration("kill-after", 2*time.Second, "fleet mode: when to deliver the kill signal")
 	sloP99 := flag.Float64("slo-p99", 250, "soak SLO: p99 latency ceiling in milliseconds")
 	sloErrs := flag.Float64("slo-error-rate", 0.01, "soak SLO: max fraction of requests answered non-200 or failed")
 	scrape := flag.Duration("scrape", 2*time.Second, "soak /metrics scrape interval")
@@ -94,6 +108,13 @@ func main() {
 	var err error
 	exitCode := 0
 	switch {
+	case *fleet:
+		var fr FleetReport
+		fr, err = runFleet(http.DefaultClient, *url, *team, *conc, *duration, *killPID, *killAfter, reqs)
+		doc = fr
+		if err == nil && !fr.SLO.Pass {
+			exitCode = 2 // fleet SLO verdict failed; the report below says why
+		}
 	case *chaos:
 		doc, err = runChaos(http.DefaultClient, *url, *conc, *duration, reqs)
 	case *soak:
@@ -182,9 +203,37 @@ func runLoad(client *http.Client, baseURL, mode string, batch, conc int, duratio
 		return Report{}, fmt.Errorf("unknown mode %q (want single or batch)", mode)
 	}
 
+	rep := drive(client, baseURL, path, payloads, perReq, conc, duration)
+	rep.Mode = mode
+	if mode == "batch" {
+		rep.BatchSize = batch
+	}
+	return rep, nil
+}
+
+// retryHint reads a 429's Retry-After as a sleepable duration: the
+// delay-seconds form, defaulting to 1s when absent or unparseable, and
+// capped at 5s so a hostile hint cannot park a worker for the run.
+func retryHint(h http.Header) time.Duration {
+	secs, err := strconv.Atoi(h.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		return time.Second
+	}
+	return min(time.Duration(secs)*time.Second, 5*time.Second)
+}
+
+// drive is the shared measurement loop behind runLoad and the fleet
+// mode: conc workers rotate through the payloads until the deadline. A
+// 429 is honored, not hammered — the worker sleeps the server's
+// Retry-After hint and re-issues the same payload, bookkeeping the
+// retry; only when the deadline leaves no room for the hint does the
+// request count as shed.
+func drive(client *http.Client, baseURL, path string, payloads [][]byte, perReq, conc int, duration time.Duration) Report {
 	type worker struct {
 		latencies []float64 // milliseconds
 		errors    int
+		retries   int
+		shed      int
 		statuses  map[int]int
 	}
 	workers := make([]worker, conc)
@@ -197,20 +246,34 @@ func runLoad(client *http.Client, baseURL, mode string, batch, conc int, duratio
 			wk.statuses = map[int]int{}
 			for k := w; time.Now().Before(deadline); k++ {
 				body := payloads[k%len(payloads)]
-				start := time.Now()
-				resp, err := client.Post(baseURL+path, "application/json", bytes.NewReader(body))
-				if err != nil {
-					wk.errors++
-					continue
+				for {
+					start := time.Now()
+					resp, err := client.Post(baseURL+path, "application/json", bytes.NewReader(body))
+					if err != nil {
+						wk.errors++
+						break
+					}
+					_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
+					status := resp.StatusCode
+					hint := retryHint(resp.Header)
+					resp.Body.Close()
+					wk.statuses[status]++
+					if status == http.StatusTooManyRequests {
+						if time.Now().Add(hint).After(deadline) {
+							wk.shed++
+							break
+						}
+						time.Sleep(hint)
+						wk.retries++
+						continue
+					}
+					if status != http.StatusOK {
+						wk.errors++
+						break
+					}
+					wk.latencies = append(wk.latencies, float64(time.Since(start).Microseconds())/1000)
+					break
 				}
-				_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
-				resp.Body.Close()
-				wk.statuses[resp.StatusCode]++
-				if resp.StatusCode != http.StatusOK {
-					wk.errors++
-					continue
-				}
-				wk.latencies = append(wk.latencies, float64(time.Since(start).Microseconds())/1000)
 			}
 		}(w)
 	}
@@ -218,14 +281,13 @@ func runLoad(client *http.Client, baseURL, mode string, batch, conc int, duratio
 		<-done
 	}
 
-	rep := Report{Mode: mode, Concurrency: conc, DurationSec: duration.Seconds()}
-	if mode == "batch" {
-		rep.BatchSize = batch
-	}
+	rep := Report{Concurrency: conc, DurationSec: duration.Seconds()}
 	var all []float64
 	for i := range workers {
 		all = append(all, workers[i].latencies...)
 		rep.Errors += workers[i].errors
+		rep.Retries += workers[i].retries
+		rep.Shed += workers[i].shed
 		mergeStatuses(&rep.StatusCounts, workers[i].statuses)
 	}
 	rep.Requests = len(all)
@@ -242,7 +304,7 @@ func runLoad(client *http.Client, baseURL, mode string, batch, conc int, duratio
 		rep.P95Ms = metrics.Quantile(all, 0.95)
 		rep.P99Ms = metrics.Quantile(all, 0.99)
 	}
-	return rep, nil
+	return rep
 }
 
 // mergeStatuses folds one worker's status histogram into a report map.

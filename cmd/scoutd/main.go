@@ -78,6 +78,7 @@ func main() {
 	workers := flag.Int("workers", 0, "training/featurization workers (0 = GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 64, "max concurrently-served requests; excess sheds with 429 (0 = unbounded)")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline; overruns answer 503 (0 = none)")
+	retryAfterBase := flag.Duration("retry-after-base", time.Second, "base Retry-After hint on 429 sheds; grows with sustained saturation")
 	minCoverage := flag.Float64("min-coverage", 0.25, "monitoring-coverage floor below which predictions fall back (0 = disabled)")
 	instance := flag.String("instance", "scoutd", "instance ID prefixed to request IDs (X-Request-Id)")
 	accessLog := flag.Bool("access-log", false, "write one structured JSON line per request to stderr")
@@ -88,7 +89,8 @@ func main() {
 	logger := log.New(os.Stderr, "scoutd: ", log.LstdFlags)
 	opts := servingOptions{
 		maxInflight: *maxInflight, requestTimeout: *reqTimeout, minCoverage: *minCoverage,
-		instance: *instance, accessLog: *accessLog,
+		retryAfterBase: *retryAfterBase,
+		instance:       *instance, accessLog: *accessLog,
 		storeDir: *storeDir, quantized: *quantized,
 	}
 	if err := run(*addr, *seed, *days, *rate, *workers, opts, logger); err != nil {
@@ -101,6 +103,7 @@ type servingOptions struct {
 	maxInflight    int
 	requestTimeout time.Duration
 	minCoverage    float64
+	retryAfterBase time.Duration
 	instance       string
 	accessLog      bool
 	storeDir       string
@@ -168,6 +171,7 @@ func run(addr string, seed int64, days int, rate float64, workers int, opts serv
 	srv := serving.NewServer(gen.Topology(), source, store, logger)
 	srv.MaxInFlight = opts.maxInflight
 	srv.RequestTimeout = opts.requestTimeout
+	srv.RetryAfterBase = opts.retryAfterBase
 	srv.Degradation = core.DegradationPolicy{MinCoverage: opts.minCoverage}
 	srv.InstanceID = opts.instance
 	if opts.quantized {

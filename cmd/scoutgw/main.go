@@ -1,0 +1,156 @@
+// Command scoutgw fronts a fleet of scoutd replicas: it
+// consistent-hash-shards incidents across the fleet with bounded-load
+// spillover, retries failed attempts on different replicas with
+// jittered backoff, hedges tail-latency requests, circuit-breaks
+// replicas that keep failing, and aggregates per-team verdicts into a
+// ranked routing recommendation (DESIGN.md §14).
+//
+// Usage:
+//
+//	scoutgw -addr :8090 \
+//	        -replica a=phynet=http://127.0.0.1:8081 \
+//	        -replica b=phynet=http://127.0.0.1:8082 \
+//	        [-max-attempts 3] [-per-try-timeout 5s] [-replica-budget 32] \
+//	        [-hedge-after 0] [-probe-interval 1s] [-top-k 3] [-seed 1]
+//
+// Each -replica is name=team=url; replicas sharing a team form that
+// team's failover set. -hedge-after 0 derives the hedge delay from the
+// observed upstream p99; a negative value disables hedging.
+//
+// Endpoints:
+//
+//	POST /v1/predict?team=T   proxy to T's shard (response verbatim)
+//	POST /v1/route            fan out to every team, rank by responsibility
+//	GET  /v1/health           fleet + per-replica breaker/drain state
+//	POST /v1/reload           fan reload out to every replica (no retries)
+//	POST /v1/drain            {"replica": "a"} — graceful removal (restore: true re-adds)
+//	GET  /metrics             Prometheus text exposition of scout_gw_* series
+//
+// On SIGINT/SIGTERM the gateway marks every replica draining (no new
+// upstream work), stops its prober, and drains in-flight client
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"scouts/internal/faults"
+	"scouts/internal/gateway"
+)
+
+// replicaFlags collects repeated -replica name=team=url values.
+type replicaFlags []gateway.ReplicaConfig
+
+func (r *replicaFlags) String() string {
+	parts := make([]string, len(*r))
+	for i, rc := range *r {
+		parts[i] = rc.Name + "=" + rc.Team + "=" + rc.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *replicaFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return fmt.Errorf("want name=team=url, got %q", v)
+	}
+	*r = append(*r, gateway.ReplicaConfig{Name: parts[0], Team: parts[1], URL: parts[2]})
+	return nil
+}
+
+func main() {
+	var replicas replicaFlags
+	addr := flag.String("addr", ":8090", "listen address")
+	flag.Var(&replicas, "replica", "replica as name=team=url (repeatable)")
+	maxAttempts := flag.Int("max-attempts", 3, "max tries per retriable request, first attempt included")
+	perTryTimeout := flag.Duration("per-try-timeout", 5*time.Second, "deadline per upstream attempt")
+	replicaBudget := flag.Int64("replica-budget", 32, "max in-flight requests per replica; beyond it the shard spills")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge delay (0 = adaptive from observed p99, negative = no hedging)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "active health-probe period")
+	breakerTrip := flag.Int("breaker-trip", 5, "consecutive failures that open a replica's breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before a probe is allowed")
+	topK := flag.Int("top-k", 3, "default ranking size for /v1/route")
+	seed := flag.Int64("seed", 1, "backoff-jitter seed")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "scoutgw: ", log.LstdFlags)
+	if err := run(*addr, gateway.Config{
+		Replicas:      replicas,
+		MaxAttempts:   *maxAttempts,
+		PerTryTimeout: *perTryTimeout,
+		ReplicaBudget: *replicaBudget,
+		HedgeAfter:    *hedgeAfter,
+		ProbeInterval: *probeInterval,
+		Breaker:       faults.ReqBreakerParams{Trip: *breakerTrip, Cooldown: *breakerCooldown},
+		TopK:          *topK,
+		Seed:          *seed,
+		Logger:        logger,
+	}, logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+func run(addr string, cfg gateway.Config, logger *log.Logger) error {
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		return err
+	}
+	logger.Printf("fronting %d replica(s) across teams %v", len(cfg.Replicas), gw.Teams())
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          logger,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	proberCtx, stopProber := context.WithCancel(ctx)
+	defer stopProber()
+	proberDone := make(chan struct{}, 1)
+	go func() {
+		gw.RunProber(proberCtx)
+		proberDone <- struct{}{}
+	}()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("gateway on %s", addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("signal received; draining fleet and in-flight requests")
+	gw.DrainAll()
+	stopProber()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-proberDone
+	logger.Printf("drained; bye")
+	return nil
+}

@@ -57,6 +57,12 @@ type gate struct {
 	fails    int
 	openedAt float64
 	trips    int
+	// probing marks the single half-open probe slot as taken: exactly one
+	// in-flight query may test a recovering dataset, every concurrent
+	// query short-circuits until the probe's outcome lands in record. Two
+	// racing probes would double-count a failure (re-opening the breaker
+	// twice) or let a burst through a dataset that is still down.
+	probing bool
 }
 
 // Breaker wraps a monitoring.DataSource with a per-dataset circuit
@@ -107,9 +113,14 @@ func (b *Breaker) gateOf(dataset string) *gate {
 	return g
 }
 
-// begin decides whether a query at time t may reach the inner source.
-// probe marks the query as a half-open trial whose outcome moves the
-// state machine even harder than a closed-state observation.
+// begin decides whether an observed query (one whose outcome will be fed
+// back through record) at time t may reach the inner source. probe marks
+// the query as the half-open trial whose outcome moves the state machine
+// even harder than a closed-state observation; the probe slot is single
+// occupancy — a second observed query racing the probe short-circuits
+// instead of piling a burst onto a dataset that may still be down. The
+// slot is released by record, which every begin(pass=true) caller
+// invokes after its inner query returns.
 func (b *Breaker) begin(dataset string, t float64) (pass, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -120,12 +131,35 @@ func (b *Breaker) begin(dataset string, t float64) (pass, probe bool) {
 			return false, false
 		}
 		g.state = StateHalfOpen
+		g.probing = true
 		return true, true
 	case StateHalfOpen:
+		if g.probing {
+			return false, false
+		}
+		g.probing = true
 		return true, true
 	default:
 		return true, false
 	}
+}
+
+// beginPassive decides whether an unobserved query (events; their silence
+// carries no outage signal, so no record follows) may pass. It never
+// takes the probe slot: while a probe is in flight, passive queries flow
+// — the dataset is being tested, not trusted, and an extra read costs
+// nothing the probe is not already risking.
+func (b *Breaker) beginPassive(dataset string, t float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := b.gateOf(dataset)
+	if g.state == StateOpen {
+		if t-g.openedAt < b.p.Cooldown {
+			return false
+		}
+		g.state = StateHalfOpen
+	}
+	return true
 }
 
 // record feeds a series-window outcome into the state machine.
@@ -133,6 +167,9 @@ func (b *Breaker) record(dataset string, t float64, ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	g := b.gateOf(dataset)
+	if probe {
+		g.probing = false
+	}
 	if ok {
 		g.fails = 0
 		if g.state != StateClosed {
@@ -197,7 +234,7 @@ func (b *Breaker) WindowStats(dataset, component string, from, to float64) (moni
 // EventsWindow implements monitoring.DataSource: gated (an open breaker
 // answers nothing) but never observed — event silence is not failure.
 func (b *Breaker) EventsWindow(dataset, component string, from, to float64) []monitoring.EventRecord {
-	if pass, _ := b.begin(dataset, to); !pass {
+	if !b.beginPassive(dataset, to) {
 		return nil
 	}
 	return b.inner.EventsWindow(dataset, component, from, to)
@@ -205,7 +242,7 @@ func (b *Breaker) EventsWindow(dataset, component string, from, to float64) []mo
 
 // EventCount implements monitoring.StatsSource, gated like EventsWindow.
 func (b *Breaker) EventCount(dataset, component string, from, to float64) int {
-	if pass, _ := b.begin(dataset, to); !pass {
+	if !b.beginPassive(dataset, to) {
 		return 0
 	}
 	return b.stats.EventCount(dataset, component, from, to)

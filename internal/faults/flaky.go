@@ -1,0 +1,108 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// FlakySchedule is a deterministic misbehavior pattern for an HTTP
+// replica, indexed by request order (the chaos sibling of Schedule,
+// which runs on model hours). Every clause is a modulus over the
+// transport's request counter, so a fixed request sequence replays the
+// same faults — the property every fleet chaos test leans on.
+type FlakySchedule struct {
+	// DropEvery > 0 fails every DropEvery-th request at the transport
+	// (connection-reset flavor: the request may or may not have been
+	// processed — exactly why only idempotent calls are retried).
+	DropEvery int
+	// StallEvery > 0 delays every StallEvery-th request by Stall before
+	// forwarding — the tail-latency straggler hedging exists for. The
+	// stall respects the request context, so a hedged loser cancels out
+	// of it immediately.
+	StallEvery int
+	Stall      time.Duration
+	// Burst5xxEvery > 0 makes request indices i with
+	// i % Burst5xxEvery < Burst5xxLen answer a synthetic 503 without
+	// reaching the inner transport — the "replica up but sick" mode that
+	// must trip the gateway's breaker rather than its retry budget alone.
+	Burst5xxEvery int
+	Burst5xxLen   int
+	// RetryAfterSec, when positive, stamps the synthetic 503s with a
+	// Retry-After header so backoff-honoring clients can be observed
+	// honoring it.
+	RetryAfterSec int
+}
+
+// FlakyTransport wraps an http.RoundTripper with a FlakySchedule. It is
+// the fleet's chaos plane: tests wrap a healthy replica's transport (or
+// an httptest client) in one and assert the gateway's retries, hedges
+// and breakers absorb the misbehavior. Precedence per request: drop,
+// then 5xx burst, then stall (a stalled request still reaches the inner
+// transport).
+type FlakyTransport struct {
+	// Inner handles the requests the schedule lets through;
+	// http.DefaultTransport when nil.
+	Inner http.RoundTripper
+	S     FlakySchedule
+
+	n atomic.Int64
+}
+
+// ErrFlakyDrop is the transport error a dropped request returns.
+var ErrFlakyDrop = fmt.Errorf("faults: request dropped by flaky schedule")
+
+// RoundTrip implements http.RoundTripper.
+func (t *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	i := int(t.n.Add(1) - 1)
+	if t.S.DropEvery > 0 && i%t.S.DropEvery == t.S.DropEvery-1 {
+		return nil, ErrFlakyDrop
+	}
+	if t.S.Burst5xxEvery > 0 && i%t.S.Burst5xxEvery < t.S.Burst5xxLen {
+		return t.synthetic503(req), nil
+	}
+	if t.S.StallEvery > 0 && i%t.S.StallEvery == t.S.StallEvery-1 && t.S.Stall > 0 {
+		timer := time.NewTimer(t.S.Stall)
+		defer timer.Stop()
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return inner.RoundTrip(req)
+}
+
+// Requests returns how many requests the transport has seen.
+func (t *FlakyTransport) Requests() int { return int(t.n.Load()) }
+
+// synthetic503 fabricates the burst response without consuming the
+// request body (the client may want to replay it on another replica).
+func (t *FlakyTransport) synthetic503(req *http.Request) *http.Response {
+	body := `{"error":"chaos: injected 5xx burst"}` + "\n"
+	h := http.Header{"Content-Type": []string{"application/json"}}
+	if t.S.RetryAfterSec > 0 {
+		h.Set("Retry-After", strconv.Itoa(t.S.RetryAfterSec))
+	}
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+var _ http.RoundTripper = (*FlakyTransport)(nil)

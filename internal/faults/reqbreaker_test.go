@@ -1,0 +1,167 @@
+package faults
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-stepped wall clock for ReqBreaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestReqBreakerTripAndRecover(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewReqBreaker(ReqBreakerParams{Trip: 3, Cooldown: 10 * time.Second}, clk.now)
+
+	for i := 0; i < 2; i++ {
+		pass, probe := b.Allow()
+		if !pass || probe {
+			t.Fatalf("closed breaker: pass=%v probe=%v", pass, probe)
+		}
+		b.Record(false, probe)
+		if b.State() != StateClosed {
+			t.Fatalf("after %d failures state = %s, want closed", i+1, b.State())
+		}
+	}
+	pass, probe := b.Allow()
+	b.Record(false, probe)
+	if b.State() != StateOpen || b.Trips() != 1 {
+		t.Fatalf("third failure: state=%s trips=%d, want open/1", b.State(), b.Trips())
+	}
+	if pass, _ := b.Allow(); pass {
+		t.Fatal("open breaker inside cooldown must not pass")
+	}
+
+	clk.advance(11 * time.Second)
+	if b.State() != StateHalfOpen {
+		t.Fatalf("past cooldown state = %s, want half-open", b.State())
+	}
+	pass, probe = b.Allow()
+	if !pass || !probe {
+		t.Fatalf("first post-cooldown Allow: pass=%v probe=%v, want probe", pass, probe)
+	}
+	// While the probe is in flight the slot is occupied.
+	if pass, _ := b.Allow(); pass {
+		t.Fatal("second Allow racing the probe must short-circuit")
+	}
+	b.Record(true, probe)
+	if b.State() != StateClosed {
+		t.Fatal("successful probe should close")
+	}
+	if pass, probe := b.Allow(); !pass || probe {
+		t.Fatal("closed breaker should pass plain traffic again")
+	}
+}
+
+func TestReqBreakerFailedProbeReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewReqBreaker(ReqBreakerParams{Trip: 1, Cooldown: 5 * time.Second}, clk.now)
+
+	_, probe := b.Allow()
+	b.Record(false, probe) // Trip=1: immediate open
+	clk.advance(6 * time.Second)
+	_, probe = b.Allow()
+	if !probe {
+		t.Fatal("post-cooldown request should be the probe")
+	}
+	b.Record(false, probe)
+	if b.State() != StateOpen || b.Trips() != 2 {
+		t.Fatalf("failed probe: state=%s trips=%d, want open/2", b.State(), b.Trips())
+	}
+	// The re-open restarts the cooldown.
+	clk.advance(3 * time.Second)
+	if pass, _ := b.Allow(); pass {
+		t.Fatal("restarted cooldown must still short-circuit")
+	}
+	clk.advance(3 * time.Second)
+	if pass, probe := b.Allow(); !pass || !probe {
+		t.Fatal("second cooldown elapsed: probe should pass")
+	}
+}
+
+func TestReqBreakerSuccessResetsStreak(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewReqBreaker(ReqBreakerParams{Trip: 3, Cooldown: time.Second}, clk.now)
+	for i := 0; i < 10; i++ {
+		_, probe := b.Allow()
+		b.Record(i%2 == 0, probe) // alternating outcomes never trip
+	}
+	if b.State() != StateClosed || b.Trips() != 0 {
+		t.Fatalf("alternating outcomes tripped the breaker: %s/%d", b.State(), b.Trips())
+	}
+}
+
+func TestFlakyTransportSchedule(t *testing.T) {
+	inner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer inner.Close()
+
+	ft := &FlakyTransport{S: FlakySchedule{
+		DropEvery:     4, // indices 3, 7, 11, ...
+		Burst5xxEvery: 8, // indices 0, 1 of every 8
+		Burst5xxLen:   2,
+		RetryAfterSec: 3,
+	}}
+	client := &http.Client{Transport: ft}
+
+	var codes []int
+	var drops int
+	for i := 0; i < 16; i++ {
+		resp, err := client.Get(inner.URL)
+		if err != nil {
+			drops++
+			codes = append(codes, 0)
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if got := resp.Header.Get("Retry-After"); got != "3" {
+				t.Fatalf("synthetic 503 Retry-After = %q, want 3", got)
+			}
+		}
+		codes = append(codes, resp.StatusCode)
+		resp.Body.Close()
+	}
+	want := []int{503, 503, 200, 0, 200, 200, 200, 0, 503, 503, 200, 0, 200, 200, 200, 0}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("request %d answered %d, want %d (full: %v)", i, codes[i], want[i], codes)
+		}
+	}
+	if drops != 4 {
+		t.Fatalf("drops = %d, want 4", drops)
+	}
+	if ft.Requests() != 16 {
+		t.Fatalf("transport saw %d requests, want 16", ft.Requests())
+	}
+}
+
+func TestFlakyTransportStallRespectsContext(t *testing.T) {
+	ft := &FlakyTransport{S: FlakySchedule{StallEvery: 1, Stall: time.Hour}}
+	client := &http.Client{Transport: ft, Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get("http://127.0.0.1:1") // never reached: stall first
+	if err == nil {
+		t.Fatal("stalled request should fail under the client timeout")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stall ignored the request context")
+	}
+}

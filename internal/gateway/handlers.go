@@ -1,0 +1,450 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"strconv"
+	"sync"
+
+	"scouts/internal/serving"
+)
+
+// maxGwBody caps client request bodies at the gateway (matches the
+// serving layer's single-predict cap; batch calls go straight to a
+// replica, not through the gateway).
+const maxGwBody = 1 << 20
+
+type errorBody struct {
+	Error       string       `json:"error"`
+	FleetHealth *FleetHealth `json:"fleet_health,omitempty"`
+}
+
+// RouteRequest is POST /v1/route's input: a PredictRequest plus the
+// ranking size. The incident fields are forwarded verbatim to every
+// team's Scout.
+type RouteRequest struct {
+	Title      string   `json:"title"`
+	Body       string   `json:"body"`
+	Components []string `json:"components,omitempty"`
+	Time       float64  `json:"time"`
+	TopK       int      `json:"top_k,omitempty"`
+}
+
+// RouteEntry is one team's row in the ranked routing recommendation.
+// Score orders the ranking: a team's responsibility probability
+// (Confidence when the Scout says responsible, 1-Confidence when it says
+// not), so "most likely owner" sorts first regardless of verdict sign.
+type RouteEntry struct {
+	Team         string  `json:"team"`
+	Score        float64 `json:"score"`
+	Responsible  bool    `json:"responsible"`
+	Confidence   float64 `json:"confidence"`
+	Verdict      string  `json:"verdict"`
+	Model        string  `json:"model"`
+	ModelVersion int     `json:"model_version"`
+}
+
+// RouteResponse is the gateway's aggregated answer: the top-k teams by
+// responsibility score, plus the fleet picture behind the answer — a
+// partial fan-out is still served, but it says so.
+type RouteResponse struct {
+	Ranking     []RouteEntry `json:"ranking"`
+	TopK        int          `json:"top_k"`
+	FleetHealth FleetHealth  `json:"fleet_health"`
+}
+
+// DrainRequest is POST /v1/drain's input.
+type DrainRequest struct {
+	Replica string `json:"replica"`
+	// Restore re-admits a previously drained replica.
+	Restore bool `json:"restore,omitempty"`
+}
+
+// Handler returns the gateway mux:
+//
+//	POST /v1/predict?team=T -> proxied PredictResponse from T's shard (verbatim)
+//	POST /v1/route          -> RouteRequest -> RouteResponse (fan-out, ranked)
+//	GET  /v1/health         -> fleet + per-replica health
+//	POST /v1/reload         -> fan out reload to every replica (no retries)
+//	POST /v1/drain          -> mark a replica draining / restored
+//	GET  /metrics           -> Prometheus text exposition of scout_gw_* series
+//
+// Every route passes through instrument; unrouted paths answer JSON 404.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/predict", g.instrument("/v1/predict", http.HandlerFunc(g.handlePredict)))
+	mux.Handle("POST /v1/route", g.instrument("/v1/route", http.HandlerFunc(g.handleRoute)))
+	mux.Handle("GET /v1/health", g.instrument("/v1/health", http.HandlerFunc(g.handleHealth)))
+	mux.Handle("POST /v1/reload", g.instrument("/v1/reload", http.HandlerFunc(g.handleReload)))
+	mux.Handle("POST /v1/drain", g.instrument("/v1/drain", http.HandlerFunc(g.handleDrain)))
+	mux.Handle("GET /metrics", g.instrument("/metrics", g.tel.reg))
+	mux.Handle("/", g.instrument("other", http.HandlerFunc(g.handleNotFound)))
+	return mux
+}
+
+// instrument wraps one endpoint with its latency histogram and status
+// counters — the same per-route observation contract scoutlint's obs
+// analyzer enforces on the serving layer.
+func (g *Gateway) instrument(endpoint string, next http.Handler) http.Handler {
+	em := g.tel.endpoint(endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := g.now()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			em.dur.ObserveDuration(g.now().Sub(start))
+			status := sw.code
+			if status == 0 {
+				status = http.StatusOK
+			}
+			em.codeCounter(status).Inc()
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// statusWriter captures the response status for the request counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (g *Gateway) writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":"internal encoding failure"}` + "\n"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// readBody buffers the request body under the gateway cap, answering the
+// error itself (413 / 400) when the read fails.
+func (g *Gateway) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxGwBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			g.writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+		} else {
+			g.writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+		}
+		return nil, false
+	}
+	return raw, true
+}
+
+// decodeStrict decodes buffered JSON rejecting unknown fields, answering
+// the 400 itself on failure.
+func (g *Gateway) decodeStrict(w http.ResponseWriter, raw []byte, v any) bool {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		g.writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// relay writes a forward result to the client: upstream responses are
+// passed through verbatim — status, Content-Type and body bytes — so a
+// gateway answer is bit-identical to asking the replica directly;
+// gateway-level failures become JSON errors carrying the fleet picture.
+func (g *Gateway) relay(w http.ResponseWriter, fr forwardResult) {
+	if fr.failed() {
+		if fr.retryHint > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(fr.retryHint.Seconds())))
+		}
+		fh := g.fleetHealth(fr.skips, 0)
+		g.writeJSON(w, fr.errStatus, errorBody{Error: fr.errMsg, FleetHealth: &fh})
+		return
+	}
+	if ct := fr.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if fr.replica != "" {
+		w.Header().Set("X-Scout-Replica", fr.replica)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(fr.body)))
+	w.WriteHeader(fr.status)
+	_, _ = w.Write(fr.body)
+}
+
+// shardKey places an incident on its team's ring: stable per incident,
+// so the same incident keeps hitting the same replica (and its caches)
+// while distinct incidents spread across the failover set.
+func shardKey(team, title, body string) string {
+	return team + "\x00" + title + "\x00" + body
+}
+
+// handlePredict proxies one prediction to the team's shard. The team
+// comes from the ?team= query parameter (optional for single-team
+// fleets); the body is validated for shape, then forwarded byte for
+// byte.
+func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
+	raw, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req serving.PredictRequest
+	if !g.decodeStrict(w, raw, &req) {
+		return
+	}
+	team := r.URL.Query().Get("team")
+	if team == "" {
+		if len(g.teams) != 1 {
+			g.writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: "team query parameter required (fleet serves " + strconv.Itoa(len(g.teams)) + " teams)"})
+			return
+		}
+		team = g.teams[0]
+	}
+	fr := g.forward(r.Context(), team, shardKey(team, req.Title, req.Body), http.MethodPost, "/v1/predict", raw, true)
+	g.relay(w, fr)
+}
+
+// handleRoute fans the incident out to every team's shard and returns
+// the top-k teams ranked by responsibility score. Teams the fleet could
+// not answer for are named in fleet_health — a partial ranking says it
+// is partial instead of silently shrinking.
+func (g *Gateway) handleRoute(w http.ResponseWriter, r *http.Request) {
+	raw, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req RouteRequest
+	if !g.decodeStrict(w, raw, &req) {
+		return
+	}
+	body, err := json.Marshal(serving.PredictRequest{
+		Title: req.Title, Body: req.Body, Components: req.Components, Time: req.Time,
+	})
+	if err != nil {
+		g.writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+		return
+	}
+	type teamResult struct {
+		fr   forwardResult
+		resp serving.PredictResponse
+		ok   bool
+	}
+	results := make([]teamResult, len(g.teams))
+	var wg sync.WaitGroup
+	for i, team := range g.teams {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fr := g.forward(r.Context(), team, shardKey(team, req.Title, req.Body), http.MethodPost, "/v1/predict", body, true)
+			results[i].fr = fr
+			if fr.failed() || fr.status != http.StatusOK {
+				return
+			}
+			if err := json.Unmarshal(fr.body, &results[i].resp); err == nil {
+				results[i].ok = true
+			}
+		}()
+	}
+	wg.Wait()
+
+	var ranking []RouteEntry
+	var skips []FleetSkip
+	answered := 0
+	for i, team := range g.teams {
+		res := results[i]
+		if !res.ok {
+			reason := res.fr.skipReason()
+			if !res.fr.failed() {
+				reason = "bad-upstream-answer"
+			}
+			skips = append(skips, FleetSkip{Team: team, Reason: reason})
+			continue
+		}
+		answered++
+		score := res.resp.Confidence
+		if !res.resp.Responsible {
+			score = 1 - res.resp.Confidence
+		}
+		ranking = append(ranking, RouteEntry{
+			Team: team, Score: score,
+			Responsible: res.resp.Responsible, Confidence: res.resp.Confidence,
+			Verdict: res.resp.Verdict, Model: res.resp.Model, ModelVersion: res.resp.ModelVersion,
+		})
+	}
+	fh := g.fleetHealth(skips, answered)
+	if answered == 0 {
+		g.writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{Error: "no team could answer", FleetHealth: &fh})
+		return
+	}
+	slices.SortFunc(ranking, func(a, b RouteEntry) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
+		}
+		return cmpString(a.Team, b.Team)
+	})
+	k := req.TopK
+	if k <= 0 {
+		k = g.cfg.TopK
+	}
+	if k < len(ranking) {
+		ranking = ranking[:k]
+	}
+	g.writeJSON(w, http.StatusOK, RouteResponse{Ranking: ranking, TopK: k, FleetHealth: fh})
+}
+
+// handleHealth reports the fleet: per-replica breaker/budget/drain state
+// plus the aggregate. 200 while at least one replica can take traffic,
+// 503 once none can — that is the signal to pull the gateway itself.
+func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	rows := make([]ReplicaHealth, 0, len(g.order))
+	usable := 0
+	for _, name := range g.order {
+		rep := g.replicas[name]
+		state := rep.breaker.State()
+		if !rep.draining.Load() && state != "open" {
+			usable++
+		}
+		rows = append(rows, ReplicaHealth{
+			Name: name, Team: rep.cfg.Team,
+			Breaker: string(state), Trips: rep.breaker.Trips(),
+			Draining: rep.draining.Load(), Healthy: rep.healthy.Load(),
+			InFlight: int(rep.inflight.Load()),
+		})
+	}
+	fh := g.fleetHealth(nil, len(g.teams))
+	status := http.StatusOK
+	state := "ok"
+	if fh.Degraded {
+		state = "degraded"
+	}
+	if usable == 0 {
+		status = http.StatusServiceUnavailable
+		state = "down"
+	}
+	g.writeJSON(w, status, map[string]any{
+		"status":       state,
+		"fleet_health": fh,
+		"replicas":     rows,
+	})
+}
+
+// handleReload fans a reload out to every replica — once each, no
+// retries and no hedging: reload is not idempotent-cheap (each call
+// re-reads the store), and a doubled reload on a struggling replica
+// helps nothing. Per-replica outcomes are reported individually; the
+// overall status is 200 only when every replica reloaded.
+func (g *Gateway) handleReload(w http.ResponseWriter, r *http.Request) {
+	type reloadResult struct {
+		Replica string `json:"replica"`
+		OK      bool   `json:"ok"`
+		Status  int    `json:"status,omitempty"`
+		Error   string `json:"error,omitempty"`
+	}
+	results := make([]reloadResult, len(g.order))
+	var wg sync.WaitGroup
+	for i, name := range g.order {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep := g.replicas[name]
+			res := reloadResult{Replica: name}
+			defer func() { results[i] = res }()
+			if rep.draining.Load() {
+				res.Error = skipDraining
+				return
+			}
+			if !rep.acquire(g.cfg.ReplicaBudget) {
+				res.Error = skipSaturated
+				return
+			}
+			pass, probe := rep.breaker.Allow()
+			if !pass {
+				rep.release()
+				res.Error = skipBreakerOpen
+				return
+			}
+			out := g.finish(r.Context(), rep, probe, false, g.send(r.Context(), rep, http.MethodPost, "/v1/reload", nil))
+			if out.void {
+				res.Error = "cancelled"
+				return
+			}
+			if out.res.err != nil {
+				res.Error = out.res.err.Error()
+				return
+			}
+			res.Status = out.res.status
+			res.OK = out.res.status == http.StatusOK
+			if !res.OK {
+				res.Error = fmt.Sprintf("replica answered %d", out.res.status)
+			}
+		}()
+	}
+	wg.Wait()
+	status := http.StatusOK
+	for _, res := range results {
+		if !res.OK {
+			status = http.StatusBadGateway
+		}
+	}
+	g.writeJSON(w, status, map[string]any{"results": results})
+}
+
+// handleDrain marks a replica draining (or restores it). Draining is the
+// graceful-removal path: the replica finishes what it has and gets
+// nothing new, so it can be stopped without failing client requests.
+func (g *Gateway) handleDrain(w http.ResponseWriter, r *http.Request) {
+	raw, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req DrainRequest
+	if !g.decodeStrict(w, raw, &req) {
+		return
+	}
+	if req.Replica == "" {
+		g.writeJSON(w, http.StatusBadRequest, errorBody{Error: "replica is required"})
+		return
+	}
+	if !g.Drain(req.Replica, req.Restore) {
+		g.writeJSON(w, http.StatusNotFound, errorBody{Error: "no such replica: " + req.Replica})
+		return
+	}
+	rep := g.replicas[req.Replica]
+	g.writeJSON(w, http.StatusOK, ReplicaHealth{
+		Name: req.Replica, Team: rep.cfg.Team,
+		Breaker: string(rep.breaker.State()), Trips: rep.breaker.Trips(),
+		Draining: rep.draining.Load(), Healthy: rep.healthy.Load(),
+		InFlight: int(rep.inflight.Load()),
+	})
+}
+
+func (g *Gateway) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	g.writeJSON(w, http.StatusNotFound, errorBody{Error: "no such endpoint: " + r.URL.Path})
+}

@@ -1,0 +1,81 @@
+package gateway
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// backoffSource draws jitter from a seeded source so a fixed seed
+// replays the same backoff schedule (the rand.Rand itself is not
+// goroutine-safe; the mutex is the price of determinism-by-seed).
+type backoffSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newBackoffSource(seed int64) *backoffSource {
+	return &backoffSource{rng: rand.New(rand.NewSource(seed))}
+}
+
+// delay computes the attempt-th retry's wait: exponential growth from
+// base capped at max, with equal jitter (half fixed, half uniform) so a
+// burst of failed requests does not re-converge into a synchronized
+// retry stampede. A Retry-After hint from the replica overrides the
+// computed wait when longer — the server knows its own pressure better
+// than our exponent does — capped at max so a hostile hint cannot park
+// the client forever.
+func (b *backoffSource) delay(attempt int, base, max, hint time.Duration) time.Duration {
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base << (attempt - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	b.mu.Lock()
+	jittered := d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+	b.mu.Unlock()
+	if hint > jittered {
+		jittered = hint
+	}
+	if jittered > max {
+		jittered = max
+	}
+	return jittered
+}
+
+// sleepCtx waits d or until the context ends, whichever first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// parseRetryAfter reads a Retry-After header as delay seconds (the only
+// form this fleet emits; HTTP-date is ignored rather than guessed at).
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

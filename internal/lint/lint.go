@@ -94,6 +94,7 @@ func All() []*Analyzer {
 		Obs,
 		BinIO,
 		CtxFlow,
+		Outbound,
 		Leak,
 		Atomicity,
 		FsyncRename,

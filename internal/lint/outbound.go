@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Outbound hardens the fleet-gateway invariant from DESIGN.md §14:
+// every outbound HTTP request built in library code must carry a
+// cancellable context — one the caller can deadline — so a stalled
+// replica can never wedge a gateway goroutine. Three shapes are banned
+// outside cmd/, examples/ and tests:
+//
+//   - http.NewRequest: builds a context.Background() request; use
+//     http.NewRequestWithContext.
+//   - The context-less conveniences http.Get/Post/Head/PostForm and
+//     their (*http.Client) method forms: same problem, hidden deeper.
+//   - http.NewRequestWithContext(context.Background()/TODO(), ...),
+//     directly or through a local variable bound to one of them: the
+//     letter of the API without a context anyone can cancel. A context
+//     from a parameter, a request (r.Context()), or a
+//     WithTimeout/WithDeadline/WithCancel derivation passes — the
+//     deadline or cancel lives with a caller who owns it.
+var Outbound = &Analyzer{
+	Name: "outbound",
+	Doc:  "outbound HTTP requests in library code must carry a cancellable caller-owned context",
+	Run:  runOutbound,
+}
+
+// outboundConvenience are the net/http helpers that issue a request with
+// no way to attach a context, as package functions and as
+// (*http.Client) methods.
+var outboundConvenience = map[string]bool{
+	"Get": true, "Post": true, "Head": true, "PostForm": true,
+}
+
+func runOutbound(p *Pass) {
+	if clockExempt(p.RelDir) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isTestFile(p.Fset, fd.Pos()) {
+				return true
+			}
+			checkOutbound(p, fd.Body)
+			return false
+		})
+	}
+}
+
+func checkOutbound(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+			return true
+		}
+		recv := ""
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv = namedPath(sig.Recv().Type())
+		}
+		switch {
+		case recv == "" && fn.Name() == "NewRequest":
+			p.Reportf(call.Pos(),
+				"http.NewRequest builds a request on context.Background(); use http.NewRequestWithContext with a caller-owned context")
+		case outboundConvenience[fn.Name()] && (recv == "" || recv == "net/http.Client"):
+			who := "http." + fn.Name()
+			if recv != "" {
+				who = "(*http.Client)." + fn.Name()
+			}
+			p.Reportf(call.Pos(),
+				"%s issues a request with no attachable context; build it with http.NewRequestWithContext and send via (*http.Client).Do", who)
+		case recv == "" && fn.Name() == "NewRequestWithContext" && len(call.Args) > 0:
+			if reason := backgroundCtx(p.Info, body, call.Args[0]); reason != "" {
+				p.Reportf(call.Args[0].Pos(),
+					"http.NewRequestWithContext called with %s: no caller can cancel or deadline this request; derive the context from a parameter or wrap it in context.WithTimeout", reason)
+			}
+		}
+		return true
+	})
+}
+
+// backgroundCtx reports why the context expression is uncancellable —
+// a direct context.Background()/TODO() call, or a local variable bound
+// to one — or "" when the context plausibly carries a caller's deadline.
+func backgroundCtx(info *types.Info, body *ast.BlockStmt, arg ast.Expr) string {
+	if name := freshCtxName(info, arg); name != "" {
+		return name
+	}
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	obj := objectOf(info, id)
+	if obj == nil {
+		return ""
+	}
+	// Find the local definition: `ctx := context.Background()` (or TODO).
+	// Reassignments and derivations through WithTimeout/WithDeadline/
+	// WithCancel make the variable legitimate, so only flag when every
+	// binding of the variable in this body is a fresh background context.
+	bindings, fresh := 0, 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if objectOf(info, lhs) != obj {
+				continue
+			}
+			rhs := as.Rhs[0] // multi-value form: one call binds every LHS
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			bindings++
+			if freshCtxName(info, rhs) != "" {
+				fresh++
+			}
+		}
+		return true
+	})
+	if bindings > 0 && bindings == fresh {
+		return "a context bound to context.Background()/TODO()"
+	}
+	return ""
+}
+
+// freshCtxName names a direct context.Background()/context.TODO() call,
+// or returns "".
+func freshCtxName(info *types.Info, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn := calleeFunc(info, call)
+	switch {
+	case isPkgFunc(fn, "context", "Background"):
+		return "context.Background()"
+	case isPkgFunc(fn, "context", "TODO"):
+		return "context.TODO()"
+	}
+	return ""
+}

@@ -1,0 +1,77 @@
+// Package outbound exercises the outbound analyzer: HTTP requests built
+// in library code must carry a cancellable, caller-owned context.
+package outbound
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// ContextlessConstructor uses the legacy constructor.
+func ContextlessConstructor(client *http.Client) error {
+	req, err := http.NewRequest("GET", "http://example/health", nil) // want "http.NewRequest builds a request on context.Background"
+	if err != nil {
+		return err
+	}
+	_, err = client.Do(req)
+	return err
+}
+
+// PackageConvenience uses the context-less package helpers.
+func PackageConvenience() error {
+	_, err := http.Get("http://example/health") // want "http.Get issues a request with no attachable context"
+	return err
+}
+
+// ClientConvenience uses the context-less client methods.
+func ClientConvenience(client *http.Client) error {
+	_, err := client.Head("http://example/health") // want "Head issues a request with no attachable context"
+	return err
+}
+
+// DirectBackground passes an uncancellable context straight in.
+func DirectBackground(client *http.Client) error {
+	req, err := http.NewRequestWithContext(context.Background(), "GET", "http://example/health", nil) // want "no caller can cancel or deadline this request"
+	if err != nil {
+		return err
+	}
+	_, err = client.Do(req)
+	return err
+}
+
+// LaunderedBackground hides the background context behind a variable.
+func LaunderedBackground(client *http.Client) error {
+	ctx := context.TODO()
+	req, err := http.NewRequestWithContext(ctx, "GET", "http://example/health", nil) // want "no caller can cancel or deadline this request"
+	if err != nil {
+		return err
+	}
+	_, err = client.Do(req)
+	return err
+}
+
+// ParamContext is the blessed shape: the caller owns the context (and
+// with it the deadline), and the request carries it.
+func ParamContext(ctx context.Context, client *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", "http://example/health", nil)
+	if err != nil {
+		return err
+	}
+	_, err = client.Do(req)
+	return err
+}
+
+// DerivedDeadline wraps the background context in a deadline before use;
+// the variable is no longer a bare background context.
+func DerivedDeadline(client *http.Client) error {
+	ctx := context.Background()
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", "http://example/health", nil)
+	if err != nil {
+		return err
+	}
+	_, err = client.Do(req)
+	return err
+}

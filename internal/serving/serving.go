@@ -13,6 +13,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -291,6 +292,13 @@ type Server struct {
 	MaxInFlight    int
 	RequestTimeout time.Duration
 	Degradation    core.DegradationPolicy
+	// RetryAfterBase scales the Retry-After hint on shed (429) responses
+	// (default 1s). The emitted hint grows with sustained pressure: each
+	// MaxInFlight consecutive sheds add another base interval (capped at
+	// 8x), so a client fleet hammering a saturated server is pushed back
+	// harder the longer the saturation lasts, and the first shed after a
+	// quiet period hints only the base.
+	RetryAfterBase time.Duration
 
 	// Kernel selects the batch-inference kernel installed on every Scout
 	// the server loads. The zero value is the exact (bit-reproducible)
@@ -327,6 +335,9 @@ type Server struct {
 	reqSeq   atomic.Uint64
 	// inflight is the shedding semaphore, sized on first Handler() call.
 	inflight chan struct{}
+	// shedStreak counts consecutive sheds since the last admitted request;
+	// it scales the Retry-After hint under sustained saturation.
+	shedStreak atomic.Int64
 	// lastTime remembers the largest trigger time (model hours, as float64
 	// bits) any prediction asked about: the serving layer has no model-hours
 	// clock of its own, and /v1/health needs *some* time to evaluate
@@ -479,14 +490,35 @@ func (s *Server) withShedding(next http.Handler) http.Handler {
 		select {
 		case s.inflight <- struct{}{}:
 			defer func() { <-s.inflight }()
+			s.shedStreak.Store(0)
 			next.ServeHTTP(w, r)
 		default:
 			s.tel.shed.Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			s.writeJSON(w, http.StatusTooManyRequests,
 				errorBody{Error: fmt.Sprintf("server at capacity (%d in flight); retry shortly", s.MaxInFlight)})
 		}
 	})
+}
+
+// retryAfterSeconds derives the shed hint from current pressure: the
+// configured base, plus one more base interval per MaxInFlight
+// consecutive sheds (a streak that long means a full capacity's worth
+// of clients was turned away without a single admission in between),
+// capped at 8 bases. Always at least one whole second — fractional
+// Retry-After is not representable in the delay-seconds form.
+func (s *Server) retryAfterSeconds() int {
+	base := s.RetryAfterBase
+	if base <= 0 {
+		base = time.Second
+	}
+	streak := s.shedStreak.Add(1)
+	mult := 1 + streak/int64(max(s.MaxInFlight, 1))
+	if mult > 8 {
+		mult = 8
+	}
+	secs := int((base*time.Duration(mult) + time.Second - 1) / time.Second)
+	return max(secs, 1)
 }
 
 // withRecover turns a handler panic into a logged 500: one poisoned
